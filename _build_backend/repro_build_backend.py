@@ -1,0 +1,119 @@
+"""Minimal, stdlib-only PEP 517 build backend for this repository.
+
+The execution environment for this reproduction has no network access and no
+``wheel`` package, so the standard setuptools editable-wheel path cannot run.
+This backend implements just enough of PEP 517/660 for ``pip install -e .``
+and ``pip install .`` to work offline:
+
+* ``build_editable`` produces a wheel containing a ``.pth`` file that points
+  at the repository's ``src`` directory;
+* ``build_wheel`` produces a regular wheel by copying ``src/repro`` into it;
+* build requirements are empty, so pip's isolated build environment needs to
+  download nothing.
+
+It is intentionally tiny and has no dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+PACKAGE_NAME = "repro"
+VERSION = "1.0.0"
+REQUIRES = ("numpy",)
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+
+
+def _dist_info_name() -> str:
+    return f"{PACKAGE_NAME}-{VERSION}.dist-info"
+
+
+def _metadata_text() -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {PACKAGE_NAME}",
+        f"Version: {VERSION}",
+        "Summary: CacheMind reproduction: natural-language, trace-grounded "
+        "reasoning for cache replacement",
+        "Requires-Python: >=3.9",
+    ]
+    lines.extend(f"Requires-Dist: {req}" for req in REQUIRES)
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_text() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: repro_build_backend (1.0)\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+
+def _record_entry(name: str, data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).decode("ascii").rstrip("=")
+    return f"{name},sha256={encoded},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, contents: dict) -> str:
+    """Write a wheel with the given {archive name: bytes} contents."""
+    dist_info = _dist_info_name()
+    contents = dict(contents)
+    contents[f"{dist_info}/METADATA"] = _metadata_text().encode("utf-8")
+    contents[f"{dist_info}/WHEEL"] = _wheel_text().encode("utf-8")
+    record_lines = [_record_entry(name, data) for name, data in contents.items()]
+    record_lines.append(f"{dist_info}/RECORD,,")
+    record_data = "\n".join(record_lines).encode("utf-8") + b"\n"
+
+    wheel_name = f"{PACKAGE_NAME}-{VERSION}-py3-none-any.whl"
+    wheel_path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in contents.items():
+            archive.writestr(name, data)
+        archive.writestr(f"{dist_info}/RECORD", record_data)
+    return wheel_name
+
+
+# ----------------------------------------------------------------------
+# PEP 517 hooks
+# ----------------------------------------------------------------------
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    contents = {}
+    package_root = os.path.join(_SRC, PACKAGE_NAME)
+    for directory, _subdirs, files in os.walk(package_root):
+        for filename in files:
+            if filename.endswith((".pyc", ".pyo")):
+                continue
+            path = os.path.join(directory, filename)
+            relative = os.path.relpath(path, _SRC)
+            with open(path, "rb") as handle:
+                contents[relative.replace(os.sep, "/")] = handle.read()
+    return _write_wheel(wheel_directory, contents)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    pth_data = (_SRC + "\n").encode("utf-8")
+    contents = {f"{PACKAGE_NAME}.pth": pth_data}
+    return _write_wheel(wheel_directory, contents)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    raise NotImplementedError("building sdists is not supported offline")

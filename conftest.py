@@ -1,0 +1,17 @@
+"""Pytest bootstrap: make the in-tree package importable without installing.
+
+``pip install -e .`` is the normal path, but tests should also run from a
+fresh checkout, so the ``src`` layout directory is appended to ``sys.path``
+when the installed package is absent.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - only taken on uninstalled checkouts
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

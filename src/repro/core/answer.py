@@ -1,0 +1,40 @@
+"""Answer objects returned by CacheMind."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Answer:
+    """A trace-grounded answer with its provenance.
+
+    ``value`` carries the machine-checkable payload when one exists (the
+    hit/miss label, a rate, a count, a policy name, ...); ``text`` is the
+    human-readable answer the chat interface shows; ``evidence`` lists the
+    context lines the answer is grounded in; ``grounded`` records whether the
+    retriever supplied the facts the answer relies on.
+    """
+
+    question: str
+    text: str
+    value: Any = None
+    category: str = "general"
+    grounded: bool = False
+    admitted_unknown: bool = False
+    rejected_premise: bool = False
+    evidence: List[str] = field(default_factory=list)
+    sources: List[str] = field(default_factory=list)
+    retrieval_quality: str = "low"
+    backend: str = ""
+    retriever: str = ""
+    generated_code: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text
+
+    def short(self, width: int = 120) -> str:
+        text = " ".join(self.text.split())
+        return text if len(text) <= width else text[: width - 3] + "..."

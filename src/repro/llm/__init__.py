@@ -1,0 +1,65 @@
+"""Simulated LLM substrate.
+
+The paper pairs CacheMind with OpenAI backends (GPT-3.5-Turbo, o3, GPT-4o,
+GPT-4o-mini and a fine-tuned 4o-mini).  No model API or GPU is available in
+this environment, so this package provides deterministic *simulated*
+backends:
+
+* :mod:`~repro.llm.embeddings` -- a hashing bag-of-words sentence embedder
+  with cosine similarity (used by Sieve's semantic filtering, the
+  LlamaIndex-style baseline and the conversation vector memory).
+* :mod:`~repro.llm.profiles` -- capability profiles describing, per backend,
+  how reliably it counts, does arithmetic, rejects false premises, links
+  semantics, generates code and resists bad context.  The profiles encode the
+  failure modes reported in the paper's evaluation, so the benchmark *shape*
+  (who wins which category) is produced by behaviour, not hard-coded scores.
+* :mod:`~repro.llm.backend` / :mod:`~repro.llm.simulated` -- the backend
+  interface and the deterministic simulated implementation.
+* :mod:`~repro.llm.memory` -- conversation memory (sliding buffer, summaries
+  and a vector store of past facts).
+* :mod:`~repro.llm.prompts` -- the Ranger system prompt (Figure 3), the
+  generator prompt assembly and one-/few-shot example templates (Figure 6).
+* :mod:`~repro.llm.finetune` -- simulated parameter-efficient fine-tuning,
+  which narrows a profile (better domain phrasing, worse epistemic checks),
+  matching the paper's finding that fine-tuning amplified hallucinations.
+"""
+
+from repro.llm.embeddings import HashingEmbedder, cosine_similarity
+from repro.llm.profiles import (
+    BACKEND_PROFILES,
+    CapabilityProfile,
+    available_backends,
+    get_profile,
+)
+from repro.llm.backend import GenerationRequest, LLMBackend
+from repro.llm.simulated import SimulatedLLM, create_backend
+from repro.llm.memory import ConversationMemory, MemoryItem
+from repro.llm.prompts import (
+    FewShotExample,
+    PromptBuilder,
+    RANGER_SYSTEM_PROMPT,
+    build_few_shot_examples,
+)
+from repro.llm.finetune import FinetuneDataset, FinetuneExample, finetune_backend
+
+__all__ = [
+    "HashingEmbedder",
+    "cosine_similarity",
+    "BACKEND_PROFILES",
+    "CapabilityProfile",
+    "available_backends",
+    "get_profile",
+    "GenerationRequest",
+    "LLMBackend",
+    "SimulatedLLM",
+    "create_backend",
+    "ConversationMemory",
+    "MemoryItem",
+    "FewShotExample",
+    "PromptBuilder",
+    "RANGER_SYSTEM_PROMPT",
+    "build_few_shot_examples",
+    "FinetuneDataset",
+    "FinetuneExample",
+    "finetune_backend",
+]

@@ -1,0 +1,71 @@
+"""LLM backend interface.
+
+A backend exposes two things to the rest of the system:
+
+* ``generate`` -- free-form text generation given a prompt (used by the chat
+  session and by Ranger when echoing generated code);
+* deterministic *skill checks* -- the hooks the answer generator and the
+  Ranger code generator use to decide whether a given cognitive step succeeds
+  for this backend on this question.  Real API-backed implementations would
+  ignore the skill checks (the model either gets it right or not); the
+  simulated backend implements them from its capability profile.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.llm.profiles import CapabilityProfile
+
+
+@dataclass
+class GenerationRequest:
+    """A single generation call."""
+
+    prompt: str
+    system_prompt: str = ""
+    examples: List[Dict[str, str]] = field(default_factory=list)
+    temperature: float = 0.0
+    max_tokens: int = 512
+    expected_format: str = "text"  # "text" | "code" | "json"
+
+
+class LLMBackend(ABC):
+    """Abstract backend: concrete implementations are simulated or API-backed."""
+
+    name: str = "backend"
+
+    @property
+    @abstractmethod
+    def profile(self) -> CapabilityProfile:
+        """Capability profile describing this backend."""
+
+    @abstractmethod
+    def generate(self, request: GenerationRequest) -> str:
+        """Produce a completion for the request."""
+
+    # ------------------------------------------------------------------
+    # skill-check hooks (see module docstring)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def check(self, skill: str, key: str, quality: float = 1.0) -> bool:
+        """Whether cognitive step ``skill`` succeeds for situation ``key``.
+
+        ``quality`` in [0, 1] describes the retrieval-context quality; low
+        quality reduces success probability according to the backend's
+        context dependence.
+        """
+
+    @abstractmethod
+    def draw(self, key: str) -> float:
+        """Deterministic pseudo-random draw in [0, 1) for situation ``key``."""
+
+    def graded(self, skill: str, key: str, quality: float = 1.0) -> float:
+        """A 0..1 quality grade for rubric-scored answers (default: skill
+        check maps to 1.0/0.3)."""
+        return 1.0 if self.check(skill, key, quality) else 0.3
+
+    def describe(self) -> str:
+        return f"{self.name} (simulated capability profile)"

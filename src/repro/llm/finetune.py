@@ -1,0 +1,115 @@
+"""Simulated parameter-efficient fine-tuning.
+
+The paper fine-tunes GPT-4o-mini on domain-specific traces and prompts and
+finds that the fine-tuned model does *not* outperform the base model: domain
+fluency improves, but narrow training amplifies hallucinations on epistemic
+(trick) and semantic questions (section 6.1, citing Gekhman et al. 2024).
+
+:func:`finetune_backend` reproduces that trade-off on a capability profile:
+
+* domain fluency and lookup phrasing improve with the amount of domain data;
+* premise rejection, semantic linking and code generation degrade;
+* hallucination propensity increases.
+
+The shift magnitudes scale with the (simulated) dataset size, so ablations
+can sweep "how much narrow data" against benchmark accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.llm.profiles import CapabilityProfile, get_profile
+from repro.llm.simulated import SimulatedLLM
+
+
+@dataclass
+class FinetuneExample:
+    """One (prompt, completion) training pair."""
+
+    prompt: str
+    completion: str
+    category: str = "trace"
+
+
+@dataclass
+class FinetuneDataset:
+    """A collection of fine-tuning examples with simple composition stats."""
+
+    examples: List[FinetuneExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def add(self, prompt: str, completion: str, category: str = "trace") -> None:
+        self.examples.append(FinetuneExample(prompt, completion, category))
+
+    def category_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for example in self.examples:
+            counts[example.category] = counts.get(example.category, 0) + 1
+        return counts
+
+    @property
+    def diversity(self) -> float:
+        """Shannon-entropy-based diversity of categories in [0, 1]."""
+        counts = list(self.category_counts().values())
+        total = sum(counts)
+        if total == 0 or len(counts) <= 1:
+            return 0.0
+        entropy = -sum((count / total) * math.log(count / total) for count in counts)
+        return entropy / math.log(len(counts))
+
+
+def finetuned_profile(base: CapabilityProfile, dataset_size: int,
+                      diversity: float = 0.0,
+                      name_suffix: str = "-finetuned") -> CapabilityProfile:
+    """Derive the post-fine-tuning profile from a base profile.
+
+    ``diversity`` in [0, 1] moderates the narrowing effect: a broad dataset
+    (high diversity) costs less generalisation.
+    """
+    if dataset_size <= 0:
+        return base
+    # Saturating effect of data volume (hundreds of examples ~ full effect).
+    volume = 1.0 - math.exp(-dataset_size / 200.0)
+    narrowing = volume * (1.0 - 0.6 * max(0.0, min(1.0, diversity)))
+    return CapabilityProfile(
+        name=base.name + name_suffix,
+        lookup_accuracy=min(1.0, base.lookup_accuracy + 0.03 * volume),
+        comparison_skill=max(0.0, base.comparison_skill - 0.20 * narrowing),
+        counting_discipline=base.counting_discipline,
+        arithmetic_precision=base.arithmetic_precision,
+        premise_rejection=max(0.0, base.premise_rejection - 0.60 * narrowing),
+        concept_knowledge=max(0.0, base.concept_knowledge - 0.08 * narrowing),
+        code_generation=max(0.0, base.code_generation - 0.28 * narrowing),
+        causal_reasoning=max(0.0, base.causal_reasoning - 0.04 * narrowing),
+        workload_synthesis=max(0.0, base.workload_synthesis - 0.08 * narrowing),
+        semantic_linking=max(0.0, base.semantic_linking - 0.28 * narrowing),
+        context_dependence=min(1.0, base.context_dependence + 0.05 * narrowing),
+        hallucination_propensity=min(1.0, base.hallucination_propensity + 0.35 * narrowing),
+        consistency=max(0.0, base.consistency - 0.10 * narrowing),
+        domain_fluency=min(1.0, base.domain_fluency + 0.20 * volume),
+    )
+
+
+def finetune_backend(base_backend: str = "gpt-4o-mini",
+                     dataset: Optional[FinetuneDataset] = None,
+                     dataset_size: Optional[int] = None,
+                     seed: int = 0,
+                     prompting: str = "zero_shot") -> SimulatedLLM:
+    """Produce a fine-tuned simulated backend.
+
+    Either pass a :class:`FinetuneDataset` or just a ``dataset_size``.
+    """
+    base_profile = get_profile(base_backend)
+    if dataset is not None:
+        size = len(dataset)
+        diversity = dataset.diversity
+    else:
+        size = dataset_size if dataset_size is not None else 500
+        diversity = 0.0
+    profile = finetuned_profile(base_profile, size, diversity)
+    return SimulatedLLM(profile=profile, seed=seed, prompting=prompting)

@@ -1,0 +1,145 @@
+"""Conversation memory: sliding buffer, summaries and a vector store.
+
+The paper augments the generator LLM with a conversation-memory layer so a
+chat session can reason across turns (section 1): a sliding buffer of recent
+messages, summaries of older turns and a vector store of past facts that can
+be re-retrieved when similar questions arise.  :class:`ConversationMemory`
+implements all three on top of the hashing embedder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.llm.embeddings import HashingEmbedder, cosine_similarity
+
+
+@dataclass
+class MemoryItem:
+    """One remembered fact or turn."""
+
+    role: str           # "user" | "assistant" | "fact"
+    text: str
+    turn: int
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+class ConversationMemory:
+    """Sliding-buffer + summary + vector-store conversation memory."""
+
+    def __init__(self, buffer_size: int = 8, summary_chunk: int = 8,
+                 embedder: Optional[HashingEmbedder] = None):
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        self.buffer_size = buffer_size
+        self.summary_chunk = summary_chunk
+        self.embedder = embedder if embedder is not None else HashingEmbedder()
+        self._turn = 0
+        self._buffer: List[MemoryItem] = []
+        self._summaries: List[str] = []
+        self._vectors: List[np.ndarray] = []
+        self._vector_items: List[MemoryItem] = []
+        self._overflow: List[MemoryItem] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add_turn(self, role: str, text: str,
+                 metadata: Optional[Dict[str, str]] = None) -> MemoryItem:
+        """Record one chat turn (user query or assistant answer)."""
+        item = MemoryItem(role=role, text=text, turn=self._turn,
+                          metadata=dict(metadata or {}))
+        self._turn += 1
+        self._buffer.append(item)
+        self._index(item)
+        if len(self._buffer) > self.buffer_size:
+            evicted = self._buffer.pop(0)
+            self._overflow.append(evicted)
+            if len(self._overflow) >= self.summary_chunk:
+                self._summarise_overflow()
+        return item
+
+    def add_fact(self, text: str, metadata: Optional[Dict[str, str]] = None) -> MemoryItem:
+        """Record an intermediate finding (e.g. a retrieved statistic)."""
+        item = MemoryItem(role="fact", text=text, turn=self._turn,
+                          metadata=dict(metadata or {}))
+        self._index(item)
+        return item
+
+    def _index(self, item: MemoryItem) -> None:
+        self._vectors.append(self.embedder.embed(item.text))
+        self._vector_items.append(item)
+
+    def _summarise_overflow(self) -> None:
+        """Collapse evicted turns into a compact summary line."""
+        user_topics = [item.text.strip().rstrip("?")[:80]
+                       for item in self._overflow if item.role == "user"]
+        findings = [item.text.strip()[:80]
+                    for item in self._overflow if item.role != "user"]
+        summary_parts = []
+        if user_topics:
+            summary_parts.append("asked about: " + "; ".join(user_topics[:4]))
+        if findings:
+            summary_parts.append("found: " + "; ".join(findings[:4]))
+        summary = "Earlier in this session the user " + " | ".join(summary_parts)
+        self._summaries.append(summary)
+        self._overflow = []
+
+    # ------------------------------------------------------------------
+    # recall
+    # ------------------------------------------------------------------
+    def recent(self, count: Optional[int] = None) -> List[MemoryItem]:
+        """The sliding buffer (most recent last)."""
+        if count is None:
+            return list(self._buffer)
+        return self._buffer[-count:]
+
+    def summaries(self) -> List[str]:
+        return list(self._summaries)
+
+    def recall(self, query: str, k: int = 3,
+               minimum_similarity: float = 0.05) -> List[MemoryItem]:
+        """Re-retrieve past items semantically similar to ``query``."""
+        if not self._vectors:
+            return []
+        query_vector = self.embedder.embed(query)
+        scored: List[Tuple[float, int]] = []
+        for index, vector in enumerate(self._vectors):
+            scored.append((cosine_similarity(query_vector, vector), index))
+        scored.sort(key=lambda pair: pair[0], reverse=True)
+        results = []
+        for score, index in scored[:k]:
+            if score >= minimum_similarity:
+                results.append(self._vector_items[index])
+        return results
+
+    def context_block(self, query: str, k: int = 3) -> str:
+        """Render memory relevant to ``query`` as a prompt block."""
+        lines: List[str] = []
+        if self._summaries:
+            lines.append("Session summary:")
+            lines.extend(f"  - {summary}" for summary in self._summaries[-2:])
+        recalled = self.recall(query, k=k)
+        if recalled:
+            lines.append("Relevant earlier findings:")
+            lines.extend(f"  - ({item.role}) {item.text[:160]}" for item in recalled)
+        recent = self.recent(4)
+        if recent:
+            lines.append("Recent turns:")
+            lines.extend(f"  - {item.role}: {item.text[:120]}" for item in recent)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._vector_items)
+
+    def clear(self) -> None:
+        self._turn = 0
+        self._buffer = []
+        self._summaries = []
+        self._vectors = []
+        self._vector_items = []
+        self._overflow = []

@@ -1,0 +1,145 @@
+"""Prompt templates: the Ranger system prompt, generator prompt assembly and
+one-/few-shot examples.
+
+The Ranger system prompt mirrors Figure 3 of the paper: it documents the
+``loaded_data`` container, the dataframe schema, the metadata string, the
+task flow (workload/policy first, then PC/address, then metadata fallback)
+and the strict output rules (the generated code must assign a string to
+``result``).  The one-shot example mirrors Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.tracedb.schema import ACCESS_COLUMNS
+
+RANGER_SYSTEM_PROMPT = """SYSTEM PROMPT
+You are a Python code-writing assistant for analyzing cache memory trace data.
+Your task is to generate Python code that extracts string-formatted answers
+from a dictionary named loaded_data.
+
+Data Structure Overview
+- loaded_data: a dictionary with keys like lbm_evictions_lru.
+- Values: "data_frame" (columnar Table), "metadata" (string), "description" (string).
+- Workloads and policies vary per database; check loaded_data.keys().
+
+Dataframe Structure (data_frame)
+Columns include:
+  {columns}
+Rows are accessed with data_frame.rows() / data_frame.where(column=value) /
+data_frame[column].values.
+
+Metadata (metadata)
+- A single string summarizing trace stats (accesses, misses, evictions,
+  miss rate, correlations, etc.).
+- Access via loaded_data[trace_id]["metadata"].
+- Extract numbers with simple matching or regex, e.g.
+  re.search(r"([\\d,]+) total misses", metadata).
+
+Task Instructions
+- First check matching workload/policy; then check PC/address; finally fall
+  back to metadata.
+- Return a single result string with hit/miss, reuse/recency, relevant
+  metadata summary, and assembly context.
+- If nothing is found, return a clear message.
+
+Output Rules
+- Must set result = "..." (a Python string).
+- No markdown, explanations, print, or comments.
+
+Valid Examples
+result = f"The miss rate for PC 0x401e31 is 44.69%."
+Invalid Examples
+return df["miss_rate"], print(result), result = df
+""".format(columns=", ".join(ACCESS_COLUMNS))
+
+
+GENERATOR_SYSTEM_PROMPT = (
+    "You are CacheMind, a cache-replacement analysis assistant. Answer the "
+    "user's question using ONLY the retrieved trace context provided below. "
+    "Ground every number in the context; if the context does not contain the "
+    "needed evidence, say so instead of guessing."
+)
+
+
+@dataclass
+class FewShotExample:
+    """One (context, question, answer) demonstration pair."""
+
+    category: str
+    context: str
+    question: str
+    answer: str
+
+    def render(self) -> str:
+        return (f"Context:\n{self.context}\n"
+                f"Answer the following question: {self.question}\n"
+                f"The correct answer is,\nResponse: {self.answer}")
+
+
+def build_few_shot_examples(count: int = 1) -> List[FewShotExample]:
+    """Canonical demonstration pairs (Figure 6 shows the first one)."""
+    examples = [
+        FewShotExample(
+            category="Cache Hit/Miss",
+            context=("For policy LRU on workload lbm ... at PC 0x401dc9 and "
+                     "address 0x47ea85d37f:\nCache result: Cache Miss\n"
+                     "Evicted address: 0x19e02d19b7f (needed again in 2304 "
+                     "accesses), Inserted address needed again in 3132 accesses."),
+            question=("Does the memory access with PC 0x401dc9 and address "
+                      "0x47ea85d37f result in a cache hit or cache miss for the "
+                      "lbm workload and LRU replacement policy?"),
+            answer="Cache Miss",
+        ),
+        FewShotExample(
+            category="Miss Rate",
+            context=("For policy PARROT on workload mcf, PC 0x4037ba: 812 "
+                     "accesses, 371 misses, miss rate 45.69%."),
+            question=("What is the miss rate for PC 0x4037ba on the mcf "
+                      "workload with PARROT replacement policy?"),
+            answer="The miss rate for PC 0x4037ba is 45.69%.",
+        ),
+        FewShotExample(
+            category="Trick Question",
+            context=("PC 0x4037aa does not appear in the lbm trace under any "
+                     "policy; it appears only in mcf."),
+            question="Does PC 0x4037aa in lbm access address 0x1b73be82e3f?",
+            answer=("TRICK: the premise is invalid; PC 0x4037aa never appears "
+                    "in the lbm workload."),
+        ),
+    ]
+    return examples[:max(0, count)]
+
+
+class PromptBuilder:
+    """Assembles the generator prompt from context, memory and examples."""
+
+    def __init__(self, prompting: str = "zero_shot"):
+        if prompting not in ("zero_shot", "one_shot", "few_shot"):
+            raise ValueError("prompting must be zero_shot, one_shot or few_shot")
+        self.prompting = prompting
+
+    def example_count(self) -> int:
+        return {"zero_shot": 0, "one_shot": 1, "few_shot": 3}[self.prompting]
+
+    def build(self, question: str, context_text: str,
+              memory_block: str = "",
+              examples: Optional[Sequence[FewShotExample]] = None) -> str:
+        """Render the full generator prompt."""
+        parts: List[str] = [GENERATOR_SYSTEM_PROMPT, ""]
+        if memory_block:
+            parts.extend(["Conversation memory:", memory_block, ""])
+        shots = list(examples) if examples is not None else build_few_shot_examples(
+            self.example_count())
+        for shot in shots[: self.example_count()]:
+            parts.extend(["Example:", shot.render(), ""])
+        parts.extend([
+            "Retrieved trace context:",
+            context_text if context_text else "(no context retrieved)",
+            "",
+            f"Question: {question}",
+            "Answer:",
+        ])
+        return "\n".join(parts)

@@ -1,0 +1,161 @@
+"""Replacement policy interface shared by the cache simulator.
+
+A policy sees the cache through two small value objects:
+
+* :class:`PolicyAccess` -- the access being serviced (PC, block address,
+  read/write, global access index and, when the engine runs in oracle mode,
+  the index of the *next* access to the same block).
+* :class:`CacheLineView` -- a read-only view of one resident line in the
+  accessed set (block address, inserting PC, insertion/last-touch times and
+  the line's own next-use index).
+
+The simulator drives the policy with ``on_hit`` / ``on_fill`` / ``on_evict``
+notifications, asks ``should_bypass`` before allocating on a miss, and asks
+``choose_victim`` when an allocation needs a victim.  ``eviction_scores``
+exposes whatever per-line priority the policy uses so the trace database can
+store the ``cache_line_eviction_scores`` column from the paper's schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Type
+
+#: Sentinel returned by ``choose_victim`` to request bypassing the fill.
+BYPASS = -1
+
+#: Next-use index meaning "this block is never accessed again".
+NEVER = 1 << 60
+
+
+@dataclass
+class PolicyAccess:
+    """The memory access currently being serviced by the cache."""
+
+    pc: int
+    block_address: int
+    is_write: bool
+    access_index: int
+    #: index of the next access to this block in the same cache's access
+    #: stream, or :data:`NEVER`; only meaningful when the engine precomputes
+    #: future knowledge (needed by Belady/Hawkeye training).
+    next_use: int = NEVER
+    is_prefetch: bool = False
+
+
+@dataclass
+class CacheLineView:
+    """Read-only view of a resident cache line handed to policies."""
+
+    way: int
+    block_address: int
+    pc: int
+    inserted_at: int
+    last_access: int
+    next_use: int = NEVER
+    dirty: bool = False
+    valid: bool = True
+
+
+class ReplacementPolicy:
+    """Base class: an LRU-equivalent default with overridable hooks."""
+
+    #: canonical lowercase name used in trace-database keys.
+    name = "base"
+    #: whether the policy needs next-use (oracle) information.
+    requires_future = False
+
+    def __init__(self, **kwargs):
+        self.num_sets = 0
+        self.num_ways = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        """Called once by the cache before simulation starts."""
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    def reset(self) -> None:
+        """Reset internal state (re-initialises with the stored geometry)."""
+        if self.num_sets and self.num_ways:
+            self.initialize(self.num_sets, self.num_ways)
+
+    # ------------------------------------------------------------------
+    # notifications
+    # ------------------------------------------------------------------
+    def on_hit(self, set_index: int, line: CacheLineView, access: PolicyAccess) -> None:
+        """The access hit ``line``."""
+
+    def on_fill(self, set_index: int, line: CacheLineView, access: PolicyAccess) -> None:
+        """``line`` was just filled by ``access`` (after any eviction)."""
+
+    def on_evict(self, set_index: int, line: CacheLineView, access: PolicyAccess) -> None:
+        """``line`` is being evicted to make room for ``access``."""
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def should_bypass(self, set_index: int, lines: Sequence[CacheLineView],
+                      access: PolicyAccess) -> bool:
+        """Return True to service the miss without allocating a line."""
+        return False
+
+    def choose_victim(self, set_index: int, lines: Sequence[CacheLineView],
+                      access: PolicyAccess) -> int:
+        """Return the way to evict (the set is full when this is called).
+
+        May return :data:`BYPASS` to skip allocation instead.  The default
+        implementation evicts the least recently used line.
+        """
+        return min(lines, key=lambda line: line.last_access).way
+
+    def eviction_scores(self, set_index: int, lines: Sequence[CacheLineView],
+                        access: PolicyAccess) -> List[float]:
+        """Per-line eviction priority (higher = evicted sooner).
+
+        The default is recency age, matching the LRU victim choice.
+        """
+        return [float(access.access_index - line.last_access) for line in lines]
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human description used in database metadata."""
+        return f"{self.name} replacement policy"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[ReplacementPolicy]] = {}
+
+
+def register_policy(cls: Type[ReplacementPolicy]) -> Type[ReplacementPolicy]:
+    """Class decorator registering a policy under its ``name``."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_policies() -> List[str]:
+    """Names of all registered policies."""
+    _ensure_policies_imported()
+    return sorted(_REGISTRY)
+
+
+def get_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a registered policy by name."""
+    _ensure_policies_imported()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown policy {name!r}; available: {available_policies()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def _ensure_policies_imported() -> None:
+    # Importing the package registers every built-in policy exactly once.
+    import repro.policies  # noqa: F401

@@ -1,0 +1,156 @@
+"""MLP / hashed-perceptron reuse-prediction policy.
+
+The paper adds "a Multi-Layer Perceptron (MLP) based replacement policy" to
+the PARROT framework, in the spirit of multiperspective reuse prediction
+(Jiménez & Teran, MICRO 2017) and perceptron-based predictors.  The policy
+here follows the hashed-perceptron recipe:
+
+* several feature tables (folded PC, PC shifted, block-address bits, a
+  recency bucket) each hold small integer weights;
+* the prediction for a line is the sum of the weights selected by its
+  features — positive means "will be reused soon";
+* training happens on hits (reinforce reuse) and on evictions of lines that
+  were never re-referenced (reinforce no-reuse), with a margin threshold as
+  in perceptron branch predictors.
+
+Victim selection evicts the line with the lowest predicted reuse score;
+insertions from strongly negative PCs may optionally be bypassed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.policies.base import (
+    CacheLineView,
+    PolicyAccess,
+    ReplacementPolicy,
+    register_policy,
+)
+
+
+@register_policy
+class MLPPolicy(ReplacementPolicy):
+    """Hashed-perceptron reuse predictor driving victim selection."""
+
+    name = "mlp"
+
+    #: feature table sizes (entries) — kept small like hardware budgets.
+    TABLE_SIZE = 2048
+    WEIGHT_MAX = 31
+    WEIGHT_MIN = -32
+    TRAIN_MARGIN = 8
+
+    def __init__(self, allow_bypass: bool = False, bypass_threshold: int = -24,
+                 **kwargs):
+        super().__init__(**kwargs)
+        self.allow_bypass = allow_bypass
+        self.bypass_threshold = bypass_threshold
+        self._tables: List[Dict[int, int]] = [dict() for _ in range(4)]
+        # Per (set, way): the feature vector captured at fill time and a
+        # reuse flag used for training on eviction.
+        self._line_features: List[List[Tuple[int, ...]]] = []
+        self._line_reused: List[List[bool]] = []
+        self._line_score: List[List[float]] = []
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._tables = [dict() for _ in range(4)]
+        self._line_features = [[(0, 0, 0, 0)] * num_ways for _ in range(num_sets)]
+        self._line_reused = [[False] * num_ways for _ in range(num_sets)]
+        self._line_score = [[0.0] * num_ways for _ in range(num_sets)]
+
+    # ------------------------------------------------------------------
+    # features / prediction
+    # ------------------------------------------------------------------
+    def _features(self, pc: int, block_address: int, recency_bucket: int) -> Tuple[int, ...]:
+        return (
+            (pc ^ (pc >> 11)) % self.TABLE_SIZE,
+            ((pc >> 4) ^ (pc >> 17)) % self.TABLE_SIZE,
+            (block_address ^ (block_address >> 9)) % self.TABLE_SIZE,
+            (recency_bucket * 977 + (pc & 0xFF)) % self.TABLE_SIZE,
+        )
+
+    def _predict(self, features: Tuple[int, ...]) -> int:
+        return sum(table.get(index, 0) for table, index in zip(self._tables, features))
+
+    def _train(self, features: Tuple[int, ...], reused: bool) -> None:
+        prediction = self._predict(features)
+        if reused and prediction > self.TRAIN_MARGIN:
+            return
+        if not reused and prediction < -self.TRAIN_MARGIN:
+            return
+        delta = 1 if reused else -1
+        for table, index in zip(self._tables, features):
+            weight = table.get(index, 0) + delta
+            table[index] = max(self.WEIGHT_MIN, min(self.WEIGHT_MAX, weight))
+
+    @staticmethod
+    def _recency_bucket(age: int) -> int:
+        if age < 16:
+            return 0
+        if age < 128:
+            return 1
+        if age < 1024:
+            return 2
+        return 3
+
+    def predicted_reuse(self, pc: int, block_address: int = 0, age: int = 0) -> int:
+        """Public helper: current reuse score for a (pc, address) pair."""
+        return self._predict(self._features(pc, block_address, self._recency_bucket(age)))
+
+    # ------------------------------------------------------------------
+    # policy interface
+    # ------------------------------------------------------------------
+    def on_hit(self, set_index: int, line: CacheLineView, access: PolicyAccess) -> None:
+        self._train(self._line_features[set_index][line.way], reused=True)
+        self._line_reused[set_index][line.way] = True
+        features = self._features(access.pc, access.block_address, 0)
+        self._line_features[set_index][line.way] = features
+        self._line_score[set_index][line.way] = float(self._predict(features))
+
+    def on_fill(self, set_index: int, line: CacheLineView, access: PolicyAccess) -> None:
+        features = self._features(access.pc, access.block_address, 0)
+        self._line_features[set_index][line.way] = features
+        self._line_reused[set_index][line.way] = False
+        self._line_score[set_index][line.way] = float(self._predict(features))
+
+    def on_evict(self, set_index: int, line: CacheLineView, access: PolicyAccess) -> None:
+        if not self._line_reused[set_index][line.way]:
+            self._train(self._line_features[set_index][line.way], reused=False)
+
+    def should_bypass(self, set_index: int, lines: Sequence[CacheLineView],
+                      access: PolicyAccess) -> bool:
+        if not self.allow_bypass:
+            return False
+        if len(lines) < self.num_ways:
+            return False
+        score = self._predict(self._features(access.pc, access.block_address, 0))
+        return score <= self.bypass_threshold
+
+    def choose_victim(self, set_index: int, lines: Sequence[CacheLineView],
+                      access: PolicyAccess) -> int:
+        def line_score(line: CacheLineView) -> Tuple[float, int]:
+            age = access.access_index - line.last_access
+            features = self._features(line.pc, line.block_address,
+                                      self._recency_bucket(age))
+            # Lower predicted reuse first; break ties with older lines.
+            return (float(self._predict(features)), line.last_access)
+
+        return min(lines, key=line_score).way
+
+    def eviction_scores(self, set_index: int, lines: Sequence[CacheLineView],
+                        access: PolicyAccess) -> List[float]:
+        scores = []
+        for line in lines:
+            age = access.access_index - line.last_access
+            features = self._features(line.pc, line.block_address,
+                                      self._recency_bucket(age))
+            # Higher score = evicted sooner, so negate the reuse prediction.
+            scores.append(-float(self._predict(features)))
+        return scores
+
+    def describe(self) -> str:
+        return ("MLP/perceptron reuse predictor: hashed feature tables over "
+                "PC, address bits and recency predict reuse; the least "
+                "promising line is evicted.")

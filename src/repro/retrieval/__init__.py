@@ -1,0 +1,47 @@
+"""Retrieval layer: Sieve, Ranger and the embedding-similarity baseline.
+
+CacheMind's dual-retrieval design (paper section 3):
+
+* :class:`~repro.retrieval.sieve.SieveRetriever` -- symbolic + semantic
+  filtering: workload/policy selection by sentence-embedding match, symbolic
+  PC/address filters, statistical-expert aggregation and a structured,
+  template-shaped context bundle.
+* :class:`~repro.retrieval.ranger.RangerRetriever` -- LLM-guided retrieval:
+  the query is translated into executable Python code against the
+  ``loaded_data`` store, run in a sandbox, and the resulting string becomes
+  the context.
+* :class:`~repro.retrieval.embedding.EmbeddingRetriever` -- a LlamaIndex-like
+  baseline that embeds serialized trace chunks and returns the most similar
+  ones by cosine similarity; it illustrates why generic RAG fails on traces
+  that differ only in a few hex digits.
+"""
+
+from repro.retrieval.context import (
+    QUALITY_HIGH,
+    QUALITY_LOW,
+    QUALITY_MEDIUM,
+    RetrievedContext,
+    grade_quality,
+)
+from repro.retrieval.base import Retriever, get_retriever
+from repro.retrieval.sieve import SieveRetriever
+from repro.retrieval.executor import CodeExecutionResult, SandboxExecutor
+from repro.retrieval.codegen import RangerCodeGenerator
+from repro.retrieval.ranger import RangerRetriever
+from repro.retrieval.embedding import EmbeddingRetriever
+
+__all__ = [
+    "QUALITY_HIGH",
+    "QUALITY_LOW",
+    "QUALITY_MEDIUM",
+    "RetrievedContext",
+    "grade_quality",
+    "Retriever",
+    "get_retriever",
+    "SieveRetriever",
+    "CodeExecutionResult",
+    "SandboxExecutor",
+    "RangerCodeGenerator",
+    "RangerRetriever",
+    "EmbeddingRetriever",
+]

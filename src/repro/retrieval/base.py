@@ -1,0 +1,53 @@
+"""Retriever interface and factory."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+from repro.core.query import QueryIntent, QueryParser
+from repro.retrieval.context import RetrievedContext
+from repro.tracedb.database import TraceDatabase
+
+
+class Retriever(ABC):
+    """A retriever maps (question intent, database) to a context bundle."""
+
+    name: str = "retriever"
+
+    def __init__(self, database: TraceDatabase):
+        self.database = database
+        self.parser = QueryParser(known_workloads=database.workloads,
+                                  known_policies=database.policies)
+
+    @abstractmethod
+    def retrieve(self, intent: QueryIntent) -> RetrievedContext:
+        """Assemble the context for one parsed question."""
+
+    def retrieve_text(self, question: str) -> RetrievedContext:
+        """Convenience path: parse then retrieve."""
+        return self.retrieve(self.parser.parse(question))
+
+    def describe(self) -> str:
+        return f"{self.name} retriever over {len(self.database)} trace entries"
+
+
+def get_retriever(name_or_instance: Union[str, Retriever],
+                  database: TraceDatabase, **kwargs) -> Retriever:
+    """Build a retriever by name ('sieve', 'ranger', 'embedding')."""
+    if isinstance(name_or_instance, Retriever):
+        return name_or_instance
+    # Imported here to avoid circular imports at module load time.
+    from repro.retrieval.embedding import EmbeddingRetriever
+    from repro.retrieval.ranger import RangerRetriever
+    from repro.retrieval.sieve import SieveRetriever
+
+    name = name_or_instance.lower()
+    if name == "sieve":
+        return SieveRetriever(database, **kwargs)
+    if name == "ranger":
+        return RangerRetriever(database, **kwargs)
+    if name in ("embedding", "llamaindex", "baseline"):
+        return EmbeddingRetriever(database, **kwargs)
+    raise KeyError(f"unknown retriever {name_or_instance!r}; "
+                   "expected 'sieve', 'ranger' or 'embedding'")

@@ -1,0 +1,49 @@
+"""Trace-driven cache simulator substrate (ChampSim/gem5 stand-in).
+
+The simulator replays a :class:`~repro.workloads.trace.MemoryTrace` through a
+configurable cache hierarchy and produces:
+
+* eviction-annotated per-access records for the LLC (the rows of the trace
+  database, see :mod:`repro.tracedb.schema`),
+* per-level hit/miss statistics,
+* an analytic cycle count / IPC estimate used by the actionable-insight use
+  cases (bypass, Mockingjay, software prefetching).
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    HierarchyConfig,
+    PAPER_CONFIG,
+    SMALL_CONFIG,
+    TINY_CONFIG,
+)
+from repro.sim.cache import AccessOutcome, Cache, CacheLine, CacheStats
+from repro.sim.cpu import CPUModel, TimingResult
+from repro.sim.hierarchy import CacheHierarchy, HierarchyResult
+from repro.sim.engine import SimulationEngine, SimulationResult, simulate
+from repro.sim.prefetch import NextLinePrefetcher, StridePrefetcher
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "HierarchyConfig",
+    "PAPER_CONFIG",
+    "SMALL_CONFIG",
+    "TINY_CONFIG",
+    "AccessOutcome",
+    "Cache",
+    "CacheLine",
+    "CacheStats",
+    "CPUModel",
+    "TimingResult",
+    "CacheHierarchy",
+    "HierarchyResult",
+    "SimulationEngine",
+    "SimulationResult",
+    "simulate",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+]

@@ -1,0 +1,283 @@
+"""Set-associative cache model with pluggable replacement policies."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.policies.base import (
+    BYPASS,
+    CacheLineView,
+    NEVER,
+    PolicyAccess,
+    ReplacementPolicy,
+)
+from repro.policies.basic import LRUPolicy
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line."""
+
+    block_address: int
+    pc: int
+    inserted_at: int
+    last_access: int
+    next_use: int = NEVER
+    dirty: bool = False
+
+    def view(self, way: int) -> CacheLineView:
+        return CacheLineView(
+            way=way,
+            block_address=self.block_address,
+            pc=self.pc,
+            inserted_at=self.inserted_at,
+            last_access=self.last_access,
+            next_use=self.next_use,
+            dirty=self.dirty,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Aggregate and per-set counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    compulsory_misses: int = 0
+    capacity_misses: int = 0
+    conflict_misses: int = 0
+    per_set_accesses: Dict[int, int] = field(default_factory=dict)
+    per_set_hits: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one cache access."""
+
+    hit: bool
+    set_index: int
+    way: Optional[int]
+    bypassed: bool = False
+    miss_type: str = ""
+    evicted_block: Optional[int] = None
+    evicted_pc: Optional[int] = None
+    eviction_scores: List[Tuple[int, float]] = field(default_factory=list)
+    resident_lines: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class Cache:
+    """A single set-associative cache level driven by a replacement policy."""
+
+    def __init__(self, config: CacheConfig,
+                 policy: Optional[ReplacementPolicy] = None,
+                 classify_misses: bool = False):
+        self.config = config
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.num_sets = config.num_sets
+        self.num_ways = config.num_ways
+        self.block_bytes = config.block_bytes
+        self.classify_misses = classify_misses
+        self.policy.initialize(self.num_sets, self.num_ways)
+        # sets[set_index][way] -> CacheLine or None
+        self.sets: List[List[Optional[CacheLine]]] = [
+            [None] * self.num_ways for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        # For miss classification: blocks ever seen, and a fully-associative
+        # LRU "shadow" cache of the same capacity (capacity-vs-conflict).
+        self._seen_blocks: set = set()
+        self._shadow: "OrderedDict[int, None]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def block_address(self, byte_address: int) -> int:
+        return byte_address // self.block_bytes
+
+    def set_index(self, block_address: int) -> int:
+        return block_address % self.num_sets
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def lookup(self, block_address: int) -> Tuple[Optional[int], Optional[CacheLine]]:
+        """Return (way, line) if the block is resident, else (None, None)."""
+        set_index = self.set_index(block_address)
+        for way, line in enumerate(self.sets[set_index]):
+            if line is not None and line.block_address == block_address:
+                return way, line
+        return None, None
+
+    def contains(self, byte_address: int) -> bool:
+        way, _line = self.lookup(self.block_address(byte_address))
+        return way is not None
+
+    def resident_lines(self, set_index: int) -> List[Tuple[int, CacheLine]]:
+        return [(way, line) for way, line in enumerate(self.sets[set_index])
+                if line is not None]
+
+    def occupancy(self) -> int:
+        return sum(1 for cache_set in self.sets for line in cache_set if line is not None)
+
+    # ------------------------------------------------------------------
+    # miss classification
+    # ------------------------------------------------------------------
+    def _classify_miss(self, block_address: int) -> str:
+        if not self.classify_misses:
+            return ""
+        if block_address not in self._seen_blocks:
+            return "Compulsory"
+        # A fully-associative cache of the same capacity: if it also misses,
+        # the miss is a capacity miss; otherwise it is a conflict miss.
+        if block_address in self._shadow:
+            return "Conflict"
+        return "Capacity"
+
+    def _update_shadow(self, block_address: int) -> None:
+        if not self.classify_misses:
+            return
+        self._seen_blocks.add(block_address)
+        if block_address in self._shadow:
+            self._shadow.move_to_end(block_address)
+        else:
+            self._shadow[block_address] = None
+            capacity = self.config.num_blocks
+            while len(self._shadow) > capacity:
+                self._shadow.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # main access path
+    # ------------------------------------------------------------------
+    def access(self, pc: int, byte_address: int, is_write: bool,
+               access_index: int, next_use: int = NEVER,
+               is_prefetch: bool = False) -> AccessOutcome:
+        """Service one access and return its outcome."""
+        block_address = self.block_address(byte_address)
+        set_index = self.set_index(block_address)
+        policy_access = PolicyAccess(
+            pc=pc,
+            block_address=block_address,
+            is_write=is_write,
+            access_index=access_index,
+            next_use=next_use,
+            is_prefetch=is_prefetch,
+        )
+        self.stats.accesses += 1
+        self.stats.per_set_accesses[set_index] = (
+            self.stats.per_set_accesses.get(set_index, 0) + 1)
+
+        resident = self.resident_lines(set_index)
+        resident_pairs = [(line.block_address, line.pc) for _way, line in resident]
+        views = [line.view(way) for way, line in resident]
+        scores = self.policy.eviction_scores(set_index, views, policy_access) if views else []
+        score_pairs = [(line.block_address, float(score))
+                       for (_way, line), score in zip(resident, scores)]
+
+        way, line = self.lookup(block_address)
+        if way is not None and line is not None:
+            # Hit.
+            self.stats.hits += 1
+            self.stats.per_set_hits[set_index] = (
+                self.stats.per_set_hits.get(set_index, 0) + 1)
+            line.last_access = access_index
+            line.next_use = next_use
+            if is_write:
+                line.dirty = True
+            self.policy.on_hit(set_index, line.view(way), policy_access)
+            self._update_shadow(block_address)
+            return AccessOutcome(
+                hit=True, set_index=set_index, way=way,
+                eviction_scores=score_pairs, resident_lines=resident_pairs,
+            )
+
+        # Miss.
+        self.stats.misses += 1
+        miss_type = self._classify_miss(block_address)
+        if miss_type == "Compulsory":
+            self.stats.compulsory_misses += 1
+        elif miss_type == "Capacity":
+            self.stats.capacity_misses += 1
+        elif miss_type == "Conflict":
+            self.stats.conflict_misses += 1
+        self._update_shadow(block_address)
+
+        outcome = AccessOutcome(
+            hit=False, set_index=set_index, way=None, miss_type=miss_type,
+            eviction_scores=score_pairs, resident_lines=resident_pairs,
+        )
+
+        # Bypass check (only meaningful once the set has pressure).
+        if self.policy.should_bypass(set_index, views, policy_access):
+            self.stats.bypasses += 1
+            outcome.bypassed = True
+            return outcome
+
+        # Find a free way or a victim.
+        free_way = None
+        for candidate_way, candidate in enumerate(self.sets[set_index]):
+            if candidate is None:
+                free_way = candidate_way
+                break
+
+        if free_way is None:
+            victim_way = self.policy.choose_victim(set_index, views, policy_access)
+            if victim_way == BYPASS:
+                self.stats.bypasses += 1
+                outcome.bypassed = True
+                return outcome
+            victim_line = self.sets[set_index][victim_way]
+            if victim_line is None:  # defensive: policy pointed at a hole
+                free_way = victim_way
+            else:
+                self.policy.on_evict(set_index, victim_line.view(victim_way),
+                                     policy_access)
+                self.stats.evictions += 1
+                outcome.evicted_block = victim_line.block_address
+                outcome.evicted_pc = victim_line.pc
+                free_way = victim_way
+
+        new_line = CacheLine(
+            block_address=block_address,
+            pc=pc,
+            inserted_at=access_index,
+            last_access=access_index,
+            next_use=next_use,
+            dirty=is_write,
+        )
+        self.sets[set_index][free_way] = new_line
+        outcome.way = free_way
+        self.policy.on_fill(set_index, new_line.view(free_way), policy_access)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Invalidate every line and reset policy state (keeps statistics)."""
+        self.sets = [[None] * self.num_ways for _ in range(self.num_sets)]
+        self.policy.reset()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def set_hit_rates(self) -> Dict[int, float]:
+        """Per-set hit rate (only sets that were accessed)."""
+        rates = {}
+        for set_index, accesses in self.stats.per_set_accesses.items():
+            hits = self.stats.per_set_hits.get(set_index, 0)
+            rates[set_index] = hits / accesses if accesses else 0.0
+        return rates

@@ -1,0 +1,88 @@
+"""Multi-level cache hierarchy (L1D -> L2 -> LLC).
+
+The hierarchy is non-inclusive and write-allocate.  L1D and L2 always use
+LRU (as in Table 2 of the paper); the LLC uses whatever policy is under
+study.  Because the upper levels do not depend on the LLC policy, the stream
+of accesses reaching the LLC is identical for every LLC policy, which is what
+lets the engine precompute oracle (next-use) information for Belady.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.policies.base import NEVER, ReplacementPolicy
+from repro.policies.basic import LRUPolicy
+from repro.sim.cache import AccessOutcome, Cache, CacheStats
+from repro.sim.config import HierarchyConfig
+from repro.sim.cpu import LEVEL_DRAM, LEVEL_L1, LEVEL_L2, LEVEL_LLC
+from repro.sim.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of one access through the full hierarchy."""
+
+    service_level: str
+    llc_outcome: Optional[AccessOutcome] = None
+    reached_llc: bool = False
+
+
+class CacheHierarchy:
+    """L1D + L2 + LLC with per-level statistics."""
+
+    def __init__(self, config: HierarchyConfig,
+                 llc_policy: Optional[ReplacementPolicy] = None,
+                 prefetcher: Optional[object] = None):
+        self.config = config
+        self.l1d = Cache(config.l1d, LRUPolicy())
+        self.l2 = Cache(config.l2, LRUPolicy())
+        self.llc = Cache(config.llc,
+                         llc_policy if llc_policy is not None else LRUPolicy(),
+                         classify_misses=True)
+        self.prefetcher = prefetcher
+        self._access_counter = 0
+
+    # ------------------------------------------------------------------
+    def access(self, pc: int, byte_address: int, is_write: bool = False,
+               llc_next_use: int = NEVER,
+               is_prefetch: bool = False) -> HierarchyResult:
+        """Send one access down the hierarchy."""
+        self._access_counter += 1
+        index = self._access_counter
+
+        l1_outcome = self.l1d.access(pc, byte_address, is_write, index,
+                                     is_prefetch=is_prefetch)
+        if l1_outcome.hit:
+            return HierarchyResult(service_level=LEVEL_L1)
+
+        l2_outcome = self.l2.access(pc, byte_address, is_write, index,
+                                    is_prefetch=is_prefetch)
+        if l2_outcome.hit:
+            return HierarchyResult(service_level=LEVEL_L2)
+
+        llc_outcome = self.llc.access(pc, byte_address, is_write, index,
+                                      next_use=llc_next_use,
+                                      is_prefetch=is_prefetch)
+        self._issue_hardware_prefetches(pc, byte_address)
+        level = LEVEL_LLC if llc_outcome.hit else LEVEL_DRAM
+        return HierarchyResult(service_level=level, llc_outcome=llc_outcome,
+                               reached_llc=True)
+
+    def _issue_hardware_prefetches(self, pc: int, byte_address: int) -> None:
+        if self.prefetcher is None:
+            return
+        block = self.llc.block_address(byte_address)
+        for prefetch_block in self.prefetcher.on_access(pc, block):
+            self._access_counter += 1
+            self.llc.access(pc, prefetch_block * self.llc.block_bytes,
+                            is_write=False, access_index=self._access_counter,
+                            is_prefetch=True)
+
+    # ------------------------------------------------------------------
+    def level_stats(self) -> Dict[str, CacheStats]:
+        return {"l1d": self.l1d.stats, "l2": self.l2.stats, "llc": self.llc.stats}
+
+    def describe(self) -> str:
+        return self.config.describe()

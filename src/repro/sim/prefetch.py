@@ -1,0 +1,82 @@
+"""Hardware prefetchers.
+
+The paper's policy-prefetch discussion and the software-prefetch use case
+only need simple prefetch machinery:
+
+* :class:`NextLinePrefetcher` issues a prefetch of block ``B + 1`` whenever a
+  demand access touches block ``B`` (classic next-line prefetching).
+* :class:`StridePrefetcher` tracks per-PC strides and prefetches ``degree``
+  blocks ahead once a stride is confirmed twice.
+
+Both produce a list of prefetch block addresses for the hierarchy to install
+at the LLC; they are optional and disabled by default so that the baseline
+database matches the paper's no-prefetcher setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class NextLinePrefetcher:
+    """Prefetch the next sequential block on every demand access."""
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.issued = 0
+
+    def on_access(self, pc: int, block_address: int) -> List[int]:
+        prefetches = [block_address + offset for offset in range(1, self.degree + 1)]
+        self.issued += len(prefetches)
+        return prefetches
+
+
+@dataclass
+class _StrideEntry:
+    last_block: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Per-PC stride detection with a small confidence counter."""
+
+    name = "stride"
+
+    def __init__(self, degree: int = 2, table_size: int = 256,
+                 confidence_threshold: int = 2):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.table_size = table_size
+        self.confidence_threshold = confidence_threshold
+        self._table: Dict[int, _StrideEntry] = {}
+        self.issued = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.table_size
+
+    def on_access(self, pc: int, block_address: int) -> List[int]:
+        index = self._index(pc)
+        entry = self._table.get(index)
+        prefetches: List[int] = []
+        if entry is None:
+            self._table[index] = _StrideEntry(last_block=block_address)
+            return prefetches
+        stride = block_address - entry.last_block
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 4)
+        else:
+            entry.confidence = 0
+            entry.stride = stride
+        entry.last_block = block_address
+        if stride != 0 and entry.confidence >= self.confidence_threshold:
+            prefetches = [block_address + stride * step
+                          for step in range(1, self.degree + 1)]
+            self.issued += len(prefetches)
+        return prefetches

@@ -1,0 +1,205 @@
+"""Trace database builder: the external store CacheMind retrieves from.
+
+The store is organised exactly as in the paper (section 4.3): a dictionary
+``loaded_data`` keyed by trace identifiers ``<workload>_evictions_<policy>``
+(e.g. ``lbm_evictions_lru``), each mapping to
+
+* ``data_frame``   -- the per-access table (:class:`~repro.tracedb.table.Table`),
+* ``metadata``     -- a single whole-trace summary string,
+* ``description``  -- a short human-readable workload + policy description.
+
+:func:`build_database` simulates every (workload, policy) pair with the
+simulation engine and assembles that dictionary, along with richer
+per-entry objects (:class:`TraceEntry`) that keep the simulation statistics
+and the synthetic binary image around for insight analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.policies.base import get_policy
+from repro.sim.config import HierarchyConfig, SMALL_CONFIG
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.tracedb.metadata import build_metadata_string
+from repro.tracedb.schema import records_to_table
+from repro.tracedb.stats import CacheStatisticalExpert, WorkloadStatistics
+from repro.tracedb.table import Table
+from repro.workloads.generator import get_workload
+from repro.workloads.trace import MemoryTrace
+
+#: default workloads and policies used in the paper's evaluation.
+DEFAULT_WORKLOADS = ("astar", "lbm", "mcf")
+DEFAULT_POLICIES = ("belady", "lru", "mlp", "parrot")
+
+
+def trace_key(workload: str, policy: str) -> str:
+    """Build a trace identifier (``lbm_evictions_lru``)."""
+    return f"{workload}_evictions_{policy}"
+
+
+def parse_trace_key(key: str) -> Tuple[str, str]:
+    """Split a trace identifier into (workload, policy)."""
+    parts = key.split("_evictions_")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise ValueError(f"malformed trace key {key!r}")
+    return parts[0], parts[1]
+
+
+@dataclass
+class TraceEntry:
+    """One (workload, policy) entry of the external store."""
+
+    workload: str
+    policy: str
+    data_frame: Table
+    metadata: str
+    description: str
+    statistics: WorkloadStatistics
+    result: Optional[SimulationResult] = field(default=None, repr=False)
+
+    @property
+    def key(self) -> str:
+        return trace_key(self.workload, self.policy)
+
+    @property
+    def expert(self) -> CacheStatisticalExpert:
+        return CacheStatisticalExpert(self.data_frame)
+
+    def as_loaded_data_value(self) -> Dict[str, object]:
+        """The plain dictionary shape documented in the Ranger system prompt."""
+        return {
+            "data_frame": self.data_frame,
+            "metadata": self.metadata,
+            "description": self.description,
+        }
+
+
+class TraceDatabase:
+    """Container of trace entries with the paper's ``loaded_data`` layout."""
+
+    def __init__(self, config: HierarchyConfig = SMALL_CONFIG):
+        self.config = config
+        self.entries: Dict[str, TraceEntry] = {}
+        self.binaries: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def add_entry(self, entry: TraceEntry) -> None:
+        self.entries[entry.key] = entry
+
+    def add_result(self, result: SimulationResult,
+                   workload_description: str = "") -> TraceEntry:
+        """Convert a simulation result into a database entry and store it."""
+        table = records_to_table(result.records)
+        stats = CacheStatisticalExpert(table).workload_statistics()
+        description = self._describe(result, workload_description)
+        entry = TraceEntry(
+            workload=result.workload,
+            policy=result.policy_name,
+            data_frame=table,
+            metadata=build_metadata_string(stats),
+            description=description,
+            statistics=stats,
+            result=result,
+        )
+        self.add_entry(entry)
+        if result.binary is not None:
+            self.binaries[result.workload] = result.binary
+        return entry
+
+    @staticmethod
+    def _describe(result: SimulationResult, workload_description: str) -> str:
+        workload_part = workload_description or f"workload {result.workload}"
+        return (f"Replacement Policy: {result.policy_description} "
+                f"Workload: {workload_part}")
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, workload: str, policy: str) -> TraceEntry:
+        key = trace_key(workload, policy)
+        if key not in self.entries:
+            raise KeyError(
+                f"no trace entry {key!r}; available: {sorted(self.entries)}")
+        return self.entries[key]
+
+    def entry(self, key: str) -> TraceEntry:
+        if key not in self.entries:
+            raise KeyError(
+                f"no trace entry {key!r}; available: {sorted(self.entries)}")
+        return self.entries[key]
+
+    def keys(self) -> List[str]:
+        return sorted(self.entries)
+
+    @property
+    def workloads(self) -> List[str]:
+        return sorted({entry.workload for entry in self.entries.values()})
+
+    @property
+    def policies(self) -> List[str]:
+        return sorted({entry.policy for entry in self.entries.values()})
+
+    def entries_for_workload(self, workload: str) -> List[TraceEntry]:
+        return [entry for entry in self.entries.values()
+                if entry.workload == workload]
+
+    def entries_for_policy(self, policy: str) -> List[TraceEntry]:
+        return [entry for entry in self.entries.values() if entry.policy == policy]
+
+    def loaded_data(self) -> Dict[str, Dict[str, object]]:
+        """The exact dictionary layout Ranger-generated code queries."""
+        return {key: entry.as_loaded_data_value()
+                for key, entry in self.entries.items()}
+
+    def binary_for(self, workload: str):
+        return self.binaries.get(workload)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"trace database: {len(self.entries)} entries "
+                 f"({len(self.workloads)} workloads x {len(self.policies)} policies)"]
+        for key in self.keys():
+            entry = self.entries[key]
+            lines.append(
+                f"  {key}: {len(entry.data_frame)} rows, "
+                f"{entry.statistics.miss_rate * 100:.2f}% miss rate")
+        return "\n".join(lines)
+
+
+def build_database(workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                   policies: Sequence[str] = DEFAULT_POLICIES,
+                   num_accesses: int = 20000,
+                   config: HierarchyConfig = SMALL_CONFIG,
+                   mode: str = "llc_only",
+                   seed: int = 0,
+                   traces: Optional[Dict[str, MemoryTrace]] = None,
+                   max_records: Optional[int] = None) -> TraceDatabase:
+    """Simulate every (workload, policy) pair and build the database.
+
+    ``traces`` may supply pre-generated traces keyed by workload name (useful
+    for the microbenchmark use cases); missing workloads are generated with
+    their default generator.
+    """
+    database = TraceDatabase(config=config)
+    engine = SimulationEngine(config=config, mode=mode, max_records=max_records)
+    for workload_name in workloads:
+        if traces is not None and workload_name in traces:
+            trace = traces[workload_name]
+            description = trace.description
+        else:
+            generator = get_workload(workload_name, seed=seed)
+            trace = generator.generate(num_accesses)
+            description = generator.description
+        for policy_name in policies:
+            policy = get_policy(policy_name)
+            result = engine.run(trace, policy)
+            database.add_result(result, workload_description=description)
+    return database

@@ -1,0 +1,224 @@
+"""Per-access record schema for the external trace database.
+
+Section 4.3 of the paper documents one row per LLC access with the columns
+listed in :data:`ACCESS_COLUMNS`.  :class:`AccessRecord` is the in-memory
+representation produced by the simulation engine; ``records_to_table``
+materialises a list of records into a :class:`~repro.tracedb.table.Table`
+with exactly that schema, which is what Sieve filters and Ranger-generated
+code query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.tracedb.table import Table
+
+#: Column order of the per-access data frame (paper section 4.3).
+ACCESS_COLUMNS: Tuple[str, ...] = (
+    "access_index",
+    "program_counter",
+    "memory_address",
+    "cache_set_id",
+    "evict",
+    "miss_type",
+    "evicted_address",
+    "accessed_address_recency",
+    "accessed_address_reuse_distance",
+    "evicted_address_reuse_distance",
+    "function_name",
+    "function_code",
+    "assembly_code",
+    "current_cache_lines",
+    "recent_access_history",
+    "cache_line_eviction_scores",
+    "current_cache_line_addresses",
+    "evicted_address_reuse_distance_numeric",
+    "accessed_address_reuse_distance_numeric",
+    "accessed_address_recency_numeric",
+    "is_miss",
+)
+
+#: Value stored in ``evict`` for a hit / miss (the paper reuses the column
+#: name ``evict`` for the access outcome).
+HIT_LABEL = "Cache Hit"
+MISS_LABEL = "Cache Miss"
+
+#: Miss taxonomy labels.
+MISS_TYPE_NONE = ""
+MISS_TYPE_COMPULSORY = "Compulsory"
+MISS_TYPE_CAPACITY = "Capacity"
+MISS_TYPE_CONFLICT = "Conflict"
+
+#: Sentinel reuse distance for "never reused again".
+NEVER_REUSED = -1
+
+
+def format_pc(pc: int) -> str:
+    """Render a program counter the way the paper does (``0x401e31``)."""
+    return f"0x{pc:x}"
+
+
+def format_address(address: int) -> str:
+    """Render a memory (block) address the way the paper does."""
+    return f"0x{address:x}"
+
+
+def describe_recency(recency: Optional[int]) -> str:
+    """Map a numeric recency (intervening accesses) onto the textual
+    descriptor stored in ``accessed_address_recency``."""
+    if recency is None or recency < 0:
+        return "never seen before"
+    if recency <= 8:
+        return "very recently accessed"
+    if recency <= 64:
+        return "recently accessed"
+    if recency <= 512:
+        return "moderately recent"
+    return "not recently accessed"
+
+
+def describe_reuse_distance(distance: Optional[int]) -> str:
+    """Map a numeric forward reuse distance onto a textual descriptor."""
+    if distance is None or distance < 0:
+        return "never reused"
+    if distance <= 16:
+        return f"reused almost immediately (in {distance} accesses)"
+    if distance <= 256:
+        return f"reused soon (in {distance} accesses)"
+    if distance <= 4096:
+        return f"reused after a while (in {distance} accesses)"
+    return f"reused far in the future (in {distance} accesses)"
+
+
+@dataclass
+class AccessRecord:
+    """One LLC access with its eviction / reuse / source-context annotations."""
+
+    access_index: int
+    program_counter: int
+    memory_address: int
+    cache_set_id: int
+    is_hit: bool
+    miss_type: str = MISS_TYPE_NONE
+    evicted_address: Optional[int] = None
+    accessed_reuse_distance: Optional[int] = None
+    evicted_reuse_distance: Optional[int] = None
+    accessed_recency: Optional[int] = None
+    function_name: str = ""
+    function_code: str = ""
+    assembly_code: str = ""
+    current_cache_lines: List[Tuple[str, str]] = field(default_factory=list)
+    recent_access_history: List[Tuple[str, str]] = field(default_factory=list)
+    cache_line_eviction_scores: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def is_miss(self) -> bool:
+        return not self.is_hit
+
+    @property
+    def outcome_label(self) -> str:
+        return HIT_LABEL if self.is_hit else MISS_LABEL
+
+    def to_row(self) -> Dict[str, Any]:
+        """Convert this record to a row matching :data:`ACCESS_COLUMNS`."""
+        accessed_rd = (
+            self.accessed_reuse_distance
+            if self.accessed_reuse_distance is not None
+            else NEVER_REUSED
+        )
+        evicted_rd = (
+            self.evicted_reuse_distance
+            if self.evicted_reuse_distance is not None
+            else NEVER_REUSED
+        )
+        recency = (
+            self.accessed_recency if self.accessed_recency is not None else NEVER_REUSED
+        )
+        current_lines = [
+            (format_address(addr) if isinstance(addr, int) else str(addr),
+             format_pc(pc) if isinstance(pc, int) else str(pc))
+            for addr, pc in self.current_cache_lines
+        ]
+        history = [
+            (format_address(addr) if isinstance(addr, int) else str(addr),
+             format_pc(pc) if isinstance(pc, int) else str(pc))
+            for addr, pc in self.recent_access_history
+        ]
+        return {
+            "access_index": self.access_index,
+            "program_counter": format_pc(self.program_counter),
+            "memory_address": format_address(self.memory_address),
+            "cache_set_id": self.cache_set_id,
+            "evict": self.outcome_label,
+            "miss_type": self.miss_type,
+            "evicted_address": (
+                format_address(self.evicted_address)
+                if self.evicted_address is not None
+                else ""
+            ),
+            "accessed_address_recency": describe_recency(self.accessed_recency),
+            "accessed_address_reuse_distance": describe_reuse_distance(
+                self.accessed_reuse_distance
+            ),
+            "evicted_address_reuse_distance": describe_reuse_distance(
+                self.evicted_reuse_distance
+            ),
+            "function_name": self.function_name,
+            "function_code": self.function_code,
+            "assembly_code": self.assembly_code,
+            "current_cache_lines": current_lines,
+            "recent_access_history": history,
+            "cache_line_eviction_scores": list(self.cache_line_eviction_scores),
+            "current_cache_line_addresses": [addr for addr, _pc in current_lines],
+            "evicted_address_reuse_distance_numeric": evicted_rd,
+            "accessed_address_reuse_distance_numeric": accessed_rd,
+            "accessed_address_recency_numeric": recency,
+            "is_miss": 0 if self.is_hit else 1,
+        }
+
+
+def records_to_table(records: Sequence[AccessRecord]) -> Table:
+    """Materialise access records into the canonical data-frame layout."""
+    return Table.from_rows([record.to_row() for record in records],
+                           columns=ACCESS_COLUMNS)
+
+
+def table_to_records(table: Table) -> List[AccessRecord]:
+    """Best-effort inverse of :func:`records_to_table` (used in tests)."""
+    records = []
+    for row in table.iter_rows():
+        accessed_rd = row.get("accessed_address_reuse_distance_numeric", NEVER_REUSED)
+        evicted_rd = row.get("evicted_address_reuse_distance_numeric", NEVER_REUSED)
+        recency = row.get("accessed_address_recency_numeric", NEVER_REUSED)
+        evicted_address = row.get("evicted_address") or None
+        records.append(
+            AccessRecord(
+                access_index=row.get("access_index", 0),
+                program_counter=int(row["program_counter"], 16),
+                memory_address=int(row["memory_address"], 16),
+                cache_set_id=row["cache_set_id"],
+                is_hit=row["evict"] == HIT_LABEL,
+                miss_type=row.get("miss_type", MISS_TYPE_NONE),
+                evicted_address=(
+                    int(evicted_address, 16) if evicted_address else None
+                ),
+                accessed_reuse_distance=(
+                    None if accessed_rd == NEVER_REUSED else accessed_rd
+                ),
+                evicted_reuse_distance=(
+                    None if evicted_rd == NEVER_REUSED else evicted_rd
+                ),
+                accessed_recency=None if recency == NEVER_REUSED else recency,
+                function_name=row.get("function_name", ""),
+                function_code=row.get("function_code", ""),
+                assembly_code=row.get("assembly_code", ""),
+            )
+        )
+    return records
+
+
+def record_field_names() -> List[str]:
+    """Field names of :class:`AccessRecord` (useful for tests/docs)."""
+    return [f.name for f in fields(AccessRecord)]

@@ -1,0 +1,381 @@
+"""A small columnar table used as the external trace store.
+
+The paper stores each trace as a pandas ``DataFrame``; pandas is not available
+in this environment, so :class:`Table` provides the subset of DataFrame
+behaviour the retrievers and the Ranger-generated code rely on:
+
+* column access and row access,
+* boolean filtering (``where`` / ``filter_rows``),
+* group-by with aggregation,
+* sorting, head/tail slicing,
+* numeric aggregations (mean, sum, min, max, count),
+* value counting and unique extraction.
+
+The implementation deliberately keeps data as plain Python lists per column:
+trace values are a mix of ints, floats and strings, and the table sizes used
+in this reproduction (tens of thousands of rows) do not need vectorisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+class Column:
+    """A named, ordered collection of values belonging to a :class:`Table`."""
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        self.name = name
+        self.values = list(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, Column):
+            return self.values == other.values
+        return [value == other for value in self.values]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(value) for value in self.values[:5])
+        suffix = ", ..." if len(self.values) > 5 else ""
+        return f"Column({self.name!r}, [{preview}{suffix}])"
+
+    def unique(self) -> List[Any]:
+        """Return unique values preserving first-seen order."""
+        seen = set()
+        ordered = []
+        for value in self.values:
+            if value not in seen:
+                seen.add(value)
+                ordered.append(value)
+        return ordered
+
+    def value_counts(self) -> Dict[Any, int]:
+        """Return a mapping of value -> number of occurrences."""
+        counts: Dict[Any, int] = {}
+        for value in self.values:
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def _numeric_values(self) -> List[float]:
+        numeric = []
+        for value in self.values:
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                numeric.append(float(value))
+            elif isinstance(value, (int, float)):
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                numeric.append(float(value))
+        return numeric
+
+    def mean(self) -> Optional[float]:
+        numeric = self._numeric_values()
+        if not numeric:
+            return None
+        return sum(numeric) / len(numeric)
+
+    def sum(self) -> float:
+        return sum(self._numeric_values())
+
+    def min(self) -> Optional[float]:
+        numeric = self._numeric_values()
+        return min(numeric) if numeric else None
+
+    def max(self) -> Optional[float]:
+        numeric = self._numeric_values()
+        return max(numeric) if numeric else None
+
+    def std(self) -> Optional[float]:
+        numeric = self._numeric_values()
+        if len(numeric) < 1:
+            return None
+        mean = sum(numeric) / len(numeric)
+        variance = sum((value - mean) ** 2 for value in numeric) / len(numeric)
+        return math.sqrt(variance)
+
+    def count(self) -> int:
+        return len(self.values)
+
+    def tolist(self) -> List[Any]:
+        return list(self.values)
+
+
+class Table:
+    """A columnar table with pandas-flavoured filtering and aggregation."""
+
+    def __init__(self, columns: Optional[Mapping[str, Sequence[Any]]] = None):
+        self._columns: Dict[str, List[Any]] = {}
+        self._length = 0
+        if columns:
+            lengths = {len(values) for values in columns.values()}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"all columns must have the same length, got lengths {sorted(lengths)}"
+                )
+            self._length = lengths.pop() if lengths else 0
+            for name, values in columns.items():
+                self._columns[name] = list(values)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Any]],
+                  columns: Optional[Sequence[str]] = None) -> "Table":
+        """Build a table from a sequence of row dictionaries.
+
+        ``columns`` fixes the column order and fills missing keys with
+        ``None``; when omitted, the union of keys in first-seen order is used.
+        """
+        if columns is None:
+            ordered: List[str] = []
+            seen = set()
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        seen.add(key)
+                        ordered.append(key)
+            columns = ordered
+        data = {name: [row.get(name) for row in rows] for name in columns}
+        return cls(data)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        """Return a zero-row table with the given column names."""
+        return cls({name: [] for name in columns})
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> Column:
+        if name not in self._columns:
+            raise KeyError(f"unknown column {name!r}; available: {sorted(self._columns)}")
+        return Column(name, self._columns[name])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Table(rows={self._length}, columns={list(self._columns)})"
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> List[Any]:
+        """Return the raw list of values for a column."""
+        return list(self[name].values)
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """Return row ``index`` as a dictionary."""
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {index} out of range for {self._length} rows")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Return all rows as dictionaries."""
+        return [self.row(i) for i in range(self._length)]
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        for i in range(self._length):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def append_row(self, row: Mapping[str, Any]) -> None:
+        """Append a row; new columns are back-filled with ``None``."""
+        for name in row:
+            if name not in self._columns:
+                self._columns[name] = [None] * self._length
+        for name, values in self._columns.items():
+            values.append(row.get(name))
+        self._length += 1
+
+    def add_column(self, name: str, values: Sequence[Any]) -> None:
+        values = list(values)
+        if self._columns and len(values) != self._length:
+            raise ValueError(
+                f"column {name!r} has {len(values)} values, table has {self._length} rows"
+            )
+        if not self._columns:
+            self._length = len(values)
+        self._columns[name] = values
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a copy with columns renamed according to ``mapping``."""
+        data = {}
+        for name, values in self._columns.items():
+            data[mapping.get(name, name)] = list(values)
+        return Table(data)
+
+    def copy(self) -> "Table":
+        return Table({name: list(values) for name, values in self._columns.items()})
+
+    # ------------------------------------------------------------------
+    # selection / filtering
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        """Return a table restricted to the given columns."""
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            raise KeyError(f"unknown columns {missing}; available: {sorted(self._columns)}")
+        return Table({name: list(self._columns[name]) for name in names})
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Return a table with the rows at the given positions."""
+        data = {
+            name: [values[i] for i in indices]
+            for name, values in self._columns.items()
+        }
+        return Table(data)
+
+    def head(self, count: int = 5) -> "Table":
+        return self.take(range(min(count, self._length)))
+
+    def tail(self, count: int = 5) -> "Table":
+        start = max(0, self._length - count)
+        return self.take(range(start, self._length))
+
+    def where(self, **conditions: Any) -> "Table":
+        """Filter rows by exact equality on one or more columns.
+
+        Example::
+
+            table.where(program_counter=0x401e31, workload="lbm")
+        """
+        for name in conditions:
+            if name not in self._columns:
+                raise KeyError(f"unknown column {name!r}; available: {sorted(self._columns)}")
+        indices = []
+        for i in range(self._length):
+            if all(self._columns[name][i] == expected
+                   for name, expected in conditions.items()):
+                indices.append(i)
+        return self.take(indices)
+
+    def filter_rows(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
+        """Filter rows by an arbitrary predicate over row dictionaries."""
+        indices = [i for i in range(self._length) if predicate(self.row(i))]
+        return self.take(indices)
+
+    def filter_column(self, name: str, predicate: Callable[[Any], bool]) -> "Table":
+        """Filter rows by a predicate applied to a single column's values."""
+        values = self[name].values
+        indices = [i for i, value in enumerate(values) if predicate(value)]
+        return self.take(indices)
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def sort_by(self, name: str, descending: bool = False,
+                key: Optional[Callable[[Any], Any]] = None) -> "Table":
+        """Return a copy sorted by the given column."""
+        values = self[name].values
+
+        def sort_key(index: int) -> Any:
+            value = values[index]
+            if key is not None:
+                value = key(value)
+            # Sort None values last regardless of direction.
+            return (value is None, value)
+
+        order = sorted(range(self._length), key=sort_key, reverse=descending)
+        return self.take(order)
+
+    # ------------------------------------------------------------------
+    # grouping / aggregation
+    # ------------------------------------------------------------------
+    def groupby(self, name: str) -> Dict[Any, "Table"]:
+        """Group rows by the values of a column, preserving first-seen order."""
+        groups: Dict[Any, List[int]] = {}
+        for i, value in enumerate(self[name].values):
+            groups.setdefault(value, []).append(i)
+        return {value: self.take(indices) for value, indices in groups.items()}
+
+    def aggregate(self, group_column: str,
+                  aggregations: Mapping[str, Tuple[str, str]]) -> "Table":
+        """Group by ``group_column`` and aggregate other columns.
+
+        ``aggregations`` maps output column name to ``(input column, func)``
+        where ``func`` is one of ``mean``, ``sum``, ``min``, ``max``,
+        ``count``, ``std``.
+        """
+        rows = []
+        for value, group in self.groupby(group_column).items():
+            row: Dict[str, Any] = {group_column: value}
+            for out_name, (in_name, func) in aggregations.items():
+                column = group[in_name]
+                if func == "count":
+                    row[out_name] = column.count()
+                elif func == "mean":
+                    row[out_name] = column.mean()
+                elif func == "sum":
+                    row[out_name] = column.sum()
+                elif func == "min":
+                    row[out_name] = column.min()
+                elif func == "max":
+                    row[out_name] = column.max()
+                elif func == "std":
+                    row[out_name] = column.std()
+                else:
+                    raise ValueError(f"unsupported aggregation {func!r}")
+            rows.append(row)
+        columns = [group_column] + list(aggregations)
+        return Table.from_rows(rows, columns=columns)
+
+    # ------------------------------------------------------------------
+    # conversions / display
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, List[Any]]:
+        return {name: list(values) for name, values in self._columns.items()}
+
+    def to_csv(self, separator: str = ",") -> str:
+        """Render the table as CSV text (no quoting; values must be simple)."""
+        lines = [separator.join(self._columns)]
+        for row in self.iter_rows():
+            lines.append(separator.join(str(row[name]) for name in self._columns))
+        return "\n".join(lines)
+
+    def format(self, max_rows: int = 10) -> str:
+        """Render a human-readable fixed-width preview of the table."""
+        names = list(self._columns)
+        if not names:
+            return "(empty table)"
+        shown = self.head(max_rows).rows()
+        widths = {name: len(name) for name in names}
+        for row in shown:
+            for name in names:
+                widths[name] = max(widths[name], len(str(row[name])))
+        header = "  ".join(name.ljust(widths[name]) for name in names)
+        divider = "  ".join("-" * widths[name] for name in names)
+        body = [
+            "  ".join(str(row[name]).ljust(widths[name]) for name in names)
+            for row in shown
+        ]
+        lines = [header, divider] + body
+        if self._length > max_rows:
+            lines.append(f"... ({self._length - max_rows} more rows)")
+        return "\n".join(lines)

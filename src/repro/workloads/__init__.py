@@ -1,0 +1,57 @@
+"""Synthetic workload substrate.
+
+The paper evaluates CacheMind on SPEC CPU2006 CRC-2 traces (astar, lbm, mcf,
+milc) and on a pointer-chasing microbenchmark.  Those traces are not
+redistributable, so this package provides deterministic synthetic generators
+that reproduce the documented memory behaviour of each workload:
+
+* ``astar``  -- graph path-finding with mixed temporal/spatial locality,
+* ``lbm``    -- streaming stencil updates interleaved with a small reused
+  working set (the scan-vs-reuse interference discussed in section 6.3),
+* ``mcf``    -- pointer chasing over a working set far larger than the LLC
+  (near-capacity miss rates, bypass candidates),
+* ``milc``   -- strided lattice sweeps with PCs whose reuse distance is
+  highly predictable (the "stable PC" population used by the Mockingjay use
+  case),
+* ``pointer_chase`` -- the single-dominant-miss-PC microbenchmark from the
+  software-prefetch use case.
+
+Every generator also builds a synthetic :class:`~repro.workloads.symbols.BinaryImage`
+so each PC maps to a function name, a source snippet and an assembly window,
+as required by the trace-database schema.
+"""
+
+from repro.workloads.symbols import BinaryImage, FunctionImage, Instruction
+from repro.workloads.trace import MemoryTrace, TraceAccess
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    generate_trace,
+)
+from repro.workloads.spec import (
+    AstarWorkload,
+    LbmWorkload,
+    McfWorkload,
+    MilcWorkload,
+)
+from repro.workloads.microbench import PointerChaseMicrobenchmark
+
+__all__ = [
+    "BinaryImage",
+    "FunctionImage",
+    "Instruction",
+    "MemoryTrace",
+    "TraceAccess",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "available_workloads",
+    "get_workload",
+    "generate_trace",
+    "AstarWorkload",
+    "LbmWorkload",
+    "McfWorkload",
+    "MilcWorkload",
+    "PointerChaseMicrobenchmark",
+]

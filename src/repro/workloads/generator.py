@@ -1,0 +1,129 @@
+"""Workload generator base class and registry."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.workloads.symbols import BinaryImage
+from repro.workloads.trace import MemoryTrace, TraceAccess
+
+#: Cache block size in bytes used when generators reason in blocks.
+BLOCK_BYTES = 64
+
+
+@dataclass
+class WorkloadSpec:
+    """Static description of a workload used in database descriptions."""
+
+    name: str
+    description: str
+    dominant_pattern: str
+    working_set_blocks: int
+
+
+class WorkloadGenerator(ABC):
+    """Deterministic synthetic workload generator.
+
+    Subclasses build a :class:`BinaryImage` describing the program's
+    functions and memory instructions, then emit a :class:`MemoryTrace` whose
+    access pattern mimics the documented behaviour of the original SPEC
+    workload.  All randomness flows through a seeded ``random.Random`` so the
+    same ``(workload, seed, length)`` tuple always yields an identical trace,
+    which keeps CacheMindBench ground truths stable.
+    """
+
+    #: canonical workload name (``astar``, ``lbm``, ``mcf``, ...)
+    name: str = "workload"
+    #: one-line description stored in the trace database
+    description: str = ""
+    #: dominant access pattern summary (used by workload-analysis answers)
+    dominant_pattern: str = ""
+    #: nominal working-set size in 64-byte blocks
+    working_set_blocks: int = 4096
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random((hash(self.name) & 0xFFFF) ^ seed)
+        self.binary = self.build_binary(self._rng)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        """Create the synthetic binary image (functions, PCs, assembly)."""
+
+    @abstractmethod
+    def emit_accesses(self, num_accesses: int, rng: random.Random) -> List[TraceAccess]:
+        """Emit ``num_accesses`` dynamic memory accesses."""
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=self.name,
+            description=self.description,
+            dominant_pattern=self.dominant_pattern,
+            working_set_blocks=self.working_set_blocks,
+        )
+
+    def generate(self, num_accesses: int = 20000) -> MemoryTrace:
+        """Generate a trace with ``num_accesses`` memory accesses."""
+        if num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        rng = random.Random((hash(self.name) & 0xFFFF) ^ self.seed ^ 0x5EED)
+        accesses = self.emit_accesses(num_accesses, rng)
+        trace = MemoryTrace(
+            workload=self.name,
+            accesses=accesses,
+            binary=self.binary,
+            description=self.description,
+            seed=self.seed,
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def block_address(region_base: int, block_index: int) -> int:
+        """Byte address of the first byte of ``block_index`` within a region."""
+        return region_base + block_index * BLOCK_BYTES
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[WorkloadGenerator]] = {}
+
+
+def register_workload(cls: Type[WorkloadGenerator]) -> Type[WorkloadGenerator]:
+    """Class decorator registering a generator under its ``name``."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_workloads() -> List[str]:
+    """Names of all registered workloads."""
+    # Import here to avoid a circular import at module load time.
+    from repro.workloads import spec as _spec  # noqa: F401
+    from repro.workloads import microbench as _microbench  # noqa: F401
+    return sorted(_REGISTRY)
+
+
+def get_workload(name: str, seed: int = 0) -> WorkloadGenerator:
+    """Instantiate a registered workload generator by name."""
+    from repro.workloads import spec as _spec  # noqa: F401
+    from repro.workloads import microbench as _microbench  # noqa: F401
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; available: {available_workloads()}")
+    return _REGISTRY[name](seed=seed)
+
+
+def generate_trace(name: str, num_accesses: int = 20000, seed: int = 0) -> MemoryTrace:
+    """Convenience wrapper: instantiate and generate in one call."""
+    return get_workload(name, seed=seed).generate(num_accesses)

@@ -1,0 +1,444 @@
+"""Synthetic SPEC CPU2006-like workloads (astar, lbm, mcf, milc).
+
+Each generator mimics the memory behaviour that the paper's analyses rely
+on rather than the exact instruction stream of the original benchmark:
+
+* ``astar`` — grid/graph path finding.  A small, hot "frontier" structure is
+  reused constantly while node expansion touches a larger region with mixed
+  locality.  Some sets become much hotter than others (set-hotness use case).
+* ``lbm`` — lattice-Boltzmann streaming.  Long sequential scans over a grid
+  far larger than the LLC are interleaved with accesses to a small collision
+  table with strong reuse; recency-based policies evict the reusable lines
+  during scans, which is exactly the interference the paper discusses.
+* ``mcf`` — network-simplex pointer chasing.  Arc/node traversal touches a
+  working set far larger than the LLC with near-random order, producing the
+  ~95% miss-rate behaviour and the dead-on-arrival PCs that become bypass
+  candidates.
+* ``milc`` — SU(3) lattice sweeps with fixed strides.  Most PCs have very
+  regular (low-variance) reuse distances, a few have noisy reuse; this is the
+  stable/unstable PC split exploited by the Mockingjay use case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.generator import (
+    BLOCK_BYTES,
+    WorkloadGenerator,
+    register_workload,
+)
+from repro.workloads.symbols import BinaryImage
+from repro.workloads.trace import TraceAccess
+
+
+def _pick_memory_pcs(binary: BinaryImage, function_name: str, count: int) -> List[int]:
+    """Return up to ``count`` memory-instruction PCs from a named function."""
+    for function in binary.functions:
+        if function.name == function_name:
+            pcs = function.memory_pcs
+            if len(pcs) < count:
+                raise ValueError(
+                    f"function {function_name} has only {len(pcs)} memory PCs, need {count}"
+                )
+            return pcs[:count]
+    raise KeyError(f"function {function_name!r} not found in binary image")
+
+
+@register_workload
+class AstarWorkload(WorkloadGenerator):
+    """Grid path-finding with a hot frontier and mixed-locality expansion."""
+
+    name = "astar"
+    description = (
+        "astar (SPEC CPU2006 473.astar-like): grid path finding. A small "
+        "frontier/priority structure is reused heavily while node expansion "
+        "walks a larger map region with mixed spatial locality."
+    )
+    dominant_pattern = "mixed locality with a hot frontier structure"
+    working_set_blocks = 3072
+
+    REGION_MAP = 0x2bfd4000000
+    REGION_FRONTIER = 0x2bfe0000000
+    REGION_BOUND = 0x2bff0000000
+
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        binary = BinaryImage(self.name)
+        binary.add_function(
+            "_ZN7way2obj11createwayarERP6pointtRi", 0x409200, 40,
+            ["load", "load", "store", "load", "control", "load"],
+            rng, description="creates way array entries while expanding nodes",
+        )
+        binary.add_function(
+            "_ZN9regwayobj10makebound2ERK9flexarrayI7regobjtES4_", 0x409500, 36,
+            ["load", "store", "load", "load"],
+            rng, description="builds the new boundary (frontier) for region search",
+        )
+        binary.add_function(
+            "_ZN6wayobj10makebound2EPiiS0_", 0x4090a0, 30,
+            ["load", "load", "store"],
+            rng, description="boundary construction over the map grid",
+        )
+        binary.add_function(
+            "_ZN9statinfot11addwaylengtEid", 0x418480, 24,
+            ["load", "store", "compute"],
+            rng, description="statistics bookkeeping on the hot path",
+        )
+        return binary
+
+    def emit_accesses(self, num_accesses: int, rng: random.Random) -> List[TraceAccess]:
+        expand_pcs = _pick_memory_pcs(self.binary, "_ZN7way2obj11createwayarERP6pointtRi", 6)
+        frontier_pcs = _pick_memory_pcs(
+            self.binary, "_ZN9regwayobj10makebound2ERK9flexarrayI7regobjtES4_", 4)
+        bound_pcs = _pick_memory_pcs(self.binary, "_ZN6wayobj10makebound2EPiiS0_", 3)
+        stat_pcs = _pick_memory_pcs(self.binary, "_ZN9statinfot11addwaylengtEid", 3)
+
+        map_blocks = self.working_set_blocks
+        frontier_blocks = 96
+        bound_blocks = 384
+
+        accesses: List[TraceAccess] = []
+        cursor = rng.randrange(map_blocks)
+        while len(accesses) < num_accesses:
+            # Expand a node: a burst of spatially-close map accesses.
+            burst = rng.randint(3, 7)
+            for i in range(burst):
+                if len(accesses) >= num_accesses:
+                    break
+                block = (cursor + rng.randint(-2, 3)) % map_blocks
+                accesses.append(TraceAccess(
+                    pc=expand_pcs[i % len(expand_pcs)],
+                    address=self.block_address(self.REGION_MAP, block),
+                    is_write=(i % 4 == 3),
+                    instructions_since_last=rng.randint(6, 14),
+                ))
+            # Frontier updates: small, hot region with very high reuse.
+            for i in range(rng.randint(2, 4)):
+                if len(accesses) >= num_accesses:
+                    break
+                block = rng.randrange(frontier_blocks)
+                accesses.append(TraceAccess(
+                    pc=frontier_pcs[i % len(frontier_pcs)],
+                    address=self.block_address(self.REGION_FRONTIER, block),
+                    is_write=(i % 2 == 1),
+                    instructions_since_last=rng.randint(4, 10),
+                ))
+            # Boundary region: moderate reuse, skewed toward a hot subset so
+            # some cache sets become much hotter than others.
+            if rng.random() < 0.6:
+                if rng.random() < 0.7:
+                    block = rng.randrange(bound_blocks // 4)
+                else:
+                    block = rng.randrange(bound_blocks)
+                accesses.append(TraceAccess(
+                    pc=bound_pcs[rng.randrange(len(bound_pcs))],
+                    address=self.block_address(self.REGION_BOUND, block),
+                    is_write=False,
+                    instructions_since_last=rng.randint(5, 12),
+                ))
+            # Occasional statistics update to a tiny region (always hits).
+            if rng.random() < 0.25:
+                accesses.append(TraceAccess(
+                    pc=stat_pcs[rng.randrange(len(stat_pcs))],
+                    address=self.block_address(self.REGION_BOUND + 0x100000,
+                                               rng.randrange(8)),
+                    is_write=True,
+                    instructions_since_last=rng.randint(8, 16),
+                ))
+            # Jump to a new part of the map occasionally (re-rooting search).
+            if rng.random() < 0.15:
+                cursor = rng.randrange(map_blocks)
+            else:
+                cursor = (cursor + rng.randint(1, 6)) % map_blocks
+        return accesses[:num_accesses]
+
+
+@register_workload
+class LbmWorkload(WorkloadGenerator):
+    """Streaming stencil sweeps interleaved with a small reused table."""
+
+    name = "lbm"
+    description = (
+        "lbm (SPEC CPU2006 470.lbm-like): lattice-Boltzmann fluid dynamics. "
+        "Long streaming sweeps over a grid much larger than the LLC are "
+        "interleaved with a small, heavily reused collision table; scans "
+        "evict the reusable lines under recency-based policies."
+    )
+    dominant_pattern = "streaming scans interleaved with a small reused working set"
+    working_set_blocks = 12288
+
+    REGION_GRID_SRC = 0x35e78000000
+    REGION_GRID_DST = 0x35e90000000
+    REGION_TABLE = 0x35ea0000000
+
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        binary = BinaryImage(self.name)
+        binary.add_function(
+            "LBM_performStreamCollide", 0x401d80, 48,
+            ["stream", "stream", "load", "store", "stream", "load"],
+            rng, description="main stream-collide kernel sweeping the lattice",
+        )
+        binary.add_function(
+            "LBM_handleInOutFlow", 0x402e80, 30,
+            ["load", "store", "load"],
+            rng, description="in/out flow boundary handling with table reuse",
+        )
+        binary.add_function(
+            "LBM_swapGrids", 0x4037a0, 20,
+            ["load", "store"],
+            rng, description="pointer swap and occasional copies between grids",
+        )
+        return binary
+
+    def emit_accesses(self, num_accesses: int, rng: random.Random) -> List[TraceAccess]:
+        stream_pcs = _pick_memory_pcs(self.binary, "LBM_performStreamCollide", 6)
+        table_pcs = _pick_memory_pcs(self.binary, "LBM_handleInOutFlow", 3)
+        swap_pcs = _pick_memory_pcs(self.binary, "LBM_swapGrids", 2)
+
+        grid_blocks = self.working_set_blocks
+        table_blocks = 160
+
+        accesses: List[TraceAccess] = []
+        position = 0
+        while len(accesses) < num_accesses:
+            # Streaming phase: sequential scan of source and destination grids.
+            for i in range(rng.randint(6, 10)):
+                if len(accesses) >= num_accesses:
+                    break
+                block = position % grid_blocks
+                accesses.append(TraceAccess(
+                    pc=stream_pcs[i % len(stream_pcs)],
+                    address=self.block_address(self.REGION_GRID_SRC, block),
+                    is_write=False,
+                    instructions_since_last=rng.randint(10, 18),
+                ))
+                if i % 2 == 0 and len(accesses) < num_accesses:
+                    accesses.append(TraceAccess(
+                        pc=stream_pcs[(i + 3) % len(stream_pcs)],
+                        address=self.block_address(self.REGION_GRID_DST, block),
+                        is_write=True,
+                        instructions_since_last=rng.randint(4, 8),
+                    ))
+                position += 1
+            # Interleaved accesses to the small reused collision table.
+            for i in range(rng.randint(2, 4)):
+                if len(accesses) >= num_accesses:
+                    break
+                block = rng.randrange(table_blocks)
+                accesses.append(TraceAccess(
+                    pc=table_pcs[i % len(table_pcs)],
+                    address=self.block_address(self.REGION_TABLE, block),
+                    is_write=(i % 3 == 2),
+                    instructions_since_last=rng.randint(6, 12),
+                ))
+            # Occasional grid swap bookkeeping touching a tiny region.
+            if rng.random() < 0.1:
+                accesses.append(TraceAccess(
+                    pc=swap_pcs[rng.randrange(len(swap_pcs))],
+                    address=self.block_address(self.REGION_TABLE + 0x80000,
+                                               rng.randrange(4)),
+                    is_write=True,
+                    instructions_since_last=rng.randint(12, 20),
+                ))
+        return accesses[:num_accesses]
+
+
+@register_workload
+class McfWorkload(WorkloadGenerator):
+    """Pointer chasing over a huge arc/node working set (capacity bound)."""
+
+    name = "mcf"
+    description = (
+        "mcf (SPEC CPU2006 429.mcf-like): network simplex optimisation. "
+        "Pointer chasing over arc and node structures far larger than the "
+        "LLC yields near-capacity miss rates; a few PCs touching small "
+        "bookkeeping structures still hit."
+    )
+    dominant_pattern = "pointer chasing with a working set far larger than the LLC"
+    working_set_blocks = 24576
+
+    REGION_ARCS = 0xa3a00000000
+    REGION_NODES = 0xa3b00000000
+    REGION_BASKET = 0xa3c00000000
+
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        binary = BinaryImage(self.name)
+        binary.add_function(
+            "primal_bea_mpp", 0x401380, 44,
+            ["pointer", "load", "load", "control", "pointer", "load"],
+            rng, description="arc scanning for the entering basis variable",
+        )
+        binary.add_function(
+            "refresh_potential", 0x4037a0, 36,
+            ["pointer", "load", "store", "pointer"],
+            rng, description="tree traversal updating node potentials",
+        )
+        binary.add_function(
+            "price_out_impl", 0x402e80, 32,
+            ["load", "load", "compute"],
+            rng, description="pricing loop over candidate arcs",
+        )
+        binary.add_function(
+            "insert_new_arc", 0x404a60, 24,
+            ["load", "store", "store"],
+            rng, description="basket/heap maintenance in a small hot region",
+        )
+        return binary
+
+    def emit_accesses(self, num_accesses: int, rng: random.Random) -> List[TraceAccess]:
+        arc_pcs = _pick_memory_pcs(self.binary, "primal_bea_mpp", 6)
+        node_pcs = _pick_memory_pcs(self.binary, "refresh_potential", 4)
+        price_pcs = _pick_memory_pcs(self.binary, "price_out_impl", 3)
+        basket_pcs = _pick_memory_pcs(self.binary, "insert_new_arc", 3)
+
+        arc_blocks = self.working_set_blocks
+        node_blocks = self.working_set_blocks // 2
+        basket_blocks = 48
+
+        # Pre-build a pseudo-random pointer-chain permutation over arcs so the
+        # traversal order is fixed for a given seed.
+        chain = list(range(arc_blocks))
+        rng.shuffle(chain)
+
+        accesses: List[TraceAccess] = []
+        arc_cursor = 0
+        while len(accesses) < num_accesses:
+            # Arc scan: pointer chase with essentially no short-term reuse.
+            for i in range(rng.randint(4, 8)):
+                if len(accesses) >= num_accesses:
+                    break
+                arc_cursor = chain[arc_cursor % arc_blocks]
+                accesses.append(TraceAccess(
+                    pc=arc_pcs[i % len(arc_pcs)],
+                    address=self.block_address(self.REGION_ARCS, arc_cursor),
+                    is_write=False,
+                    instructions_since_last=rng.randint(5, 10),
+                ))
+            # Node potential updates: random accesses over a large node array.
+            for i in range(rng.randint(2, 4)):
+                if len(accesses) >= num_accesses:
+                    break
+                block = rng.randrange(node_blocks)
+                accesses.append(TraceAccess(
+                    pc=node_pcs[i % len(node_pcs)],
+                    address=self.block_address(self.REGION_NODES, block),
+                    is_write=(i % 2 == 1),
+                    instructions_since_last=rng.randint(4, 9),
+                ))
+            # Pricing loop: strided reads over arcs (slightly better locality).
+            if rng.random() < 0.5:
+                base = rng.randrange(arc_blocks)
+                for i in range(3):
+                    if len(accesses) >= num_accesses:
+                        break
+                    accesses.append(TraceAccess(
+                        pc=price_pcs[i % len(price_pcs)],
+                        address=self.block_address(self.REGION_ARCS,
+                                                   (base + i * 16) % arc_blocks),
+                        is_write=False,
+                        instructions_since_last=rng.randint(6, 12),
+                    ))
+            # Basket maintenance: tiny hot region, nearly always hits.
+            if rng.random() < 0.35:
+                accesses.append(TraceAccess(
+                    pc=basket_pcs[rng.randrange(len(basket_pcs))],
+                    address=self.block_address(self.REGION_BASKET,
+                                               rng.randrange(basket_blocks)),
+                    is_write=True,
+                    instructions_since_last=rng.randint(6, 12),
+                ))
+        return accesses[:num_accesses]
+
+
+@register_workload
+class MilcWorkload(WorkloadGenerator):
+    """Strided lattice sweeps with highly regular per-PC reuse distances."""
+
+    name = "milc"
+    description = (
+        "milc (SPEC CPU2006 433.milc-like): SU(3) lattice QCD. Regular "
+        "strided sweeps over lattice links give most PCs predictable reuse "
+        "distances, while gather/scatter phases add a noisy minority."
+    )
+    dominant_pattern = "regular strided sweeps with predictable reuse"
+    working_set_blocks = 2560
+
+    REGION_LINKS = 0x7f4180000000
+    REGION_SITES = 0x7f4190000000
+    REGION_TEMP = 0x7f41a0000000
+
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        binary = BinaryImage(self.name)
+        binary.add_function(
+            "mult_su3_na", 0x4138e0, 40,
+            ["load", "load", "compute", "store", "load"],
+            rng, description="SU(3) matrix multiply over lattice links (regular sweep)",
+        )
+        binary.add_function(
+            "u_shift_fermion", 0x417f00, 32,
+            ["load", "load", "store"],
+            rng, description="fermion field shifts with fixed stride",
+        )
+        binary.add_function(
+            "scatter_gather_site", 0x4184a0, 28,
+            ["pointer", "load", "store"],
+            rng, description="irregular gather/scatter over site neighbours",
+        )
+        return binary
+
+    def emit_accesses(self, num_accesses: int, rng: random.Random) -> List[TraceAccess]:
+        mult_pcs = _pick_memory_pcs(self.binary, "mult_su3_na", 5)
+        shift_pcs = _pick_memory_pcs(self.binary, "u_shift_fermion", 3)
+        gather_pcs = _pick_memory_pcs(self.binary, "scatter_gather_site", 3)
+
+        link_blocks = self.working_set_blocks
+        site_blocks = self.working_set_blocks // 2
+        temp_blocks = 64
+
+        accesses: List[TraceAccess] = []
+        sweep_position = 0
+        while len(accesses) < num_accesses:
+            # Regular sweep: every PC revisits the same block exactly one
+            # working-set-sweep later, so reuse distance is extremely stable.
+            for i in range(rng.randint(8, 12)):
+                if len(accesses) >= num_accesses:
+                    break
+                block = sweep_position % link_blocks
+                accesses.append(TraceAccess(
+                    pc=mult_pcs[i % len(mult_pcs)],
+                    address=self.block_address(self.REGION_LINKS, block),
+                    is_write=(i % 5 == 4),
+                    instructions_since_last=rng.randint(12, 20),
+                ))
+                if i % 3 == 0 and len(accesses) < num_accesses:
+                    accesses.append(TraceAccess(
+                        pc=shift_pcs[(i // 3) % len(shift_pcs)],
+                        address=self.block_address(self.REGION_SITES,
+                                                   (block * 2) % site_blocks),
+                        is_write=False,
+                        instructions_since_last=rng.randint(8, 14),
+                    ))
+                sweep_position += 1
+            # Temp buffer: always-hot accumulators.
+            if rng.random() < 0.4:
+                accesses.append(TraceAccess(
+                    pc=mult_pcs[-1],
+                    address=self.block_address(self.REGION_TEMP,
+                                               rng.randrange(temp_blocks)),
+                    is_write=True,
+                    instructions_since_last=rng.randint(4, 10),
+                ))
+            # Noisy gather/scatter phase: random neighbours, unstable reuse.
+            if rng.random() < 0.3:
+                for i in range(rng.randint(2, 5)):
+                    if len(accesses) >= num_accesses:
+                        break
+                    accesses.append(TraceAccess(
+                        pc=gather_pcs[i % len(gather_pcs)],
+                        address=self.block_address(self.REGION_SITES,
+                                                   rng.randrange(site_blocks)),
+                        is_write=(i % 2 == 1),
+                        instructions_since_last=rng.randint(5, 15),
+                    ))
+        return accesses[:num_accesses]

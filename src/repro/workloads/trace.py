@@ -1,0 +1,148 @@
+"""Memory trace containers consumed by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.workloads.symbols import BinaryImage
+
+
+@dataclass
+class TraceAccess:
+    """One dynamic memory access.
+
+    ``address`` is a byte address; the cache model converts it to a block
+    address.  ``instructions_since_last`` is the number of retired
+    instructions between the previous memory access and this one, which feeds
+    the analytic IPC model.  ``is_prefetch`` marks software-prefetch requests
+    (they warm the cache but do not stall the pipeline).
+    """
+
+    pc: int
+    address: int
+    is_write: bool = False
+    instructions_since_last: int = 4
+    is_prefetch: bool = False
+
+
+@dataclass
+class MemoryTrace:
+    """A full workload trace plus its synthetic binary image."""
+
+    workload: str
+    accesses: List[TraceAccess] = field(default_factory=list)
+    binary: Optional[BinaryImage] = None
+    description: str = ""
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[TraceAccess]:
+        return iter(self.accesses)
+
+    def __getitem__(self, index: int) -> TraceAccess:
+        return self.accesses[index]
+
+    @property
+    def total_instructions(self) -> int:
+        """Total retired instructions represented by the trace."""
+        return sum(access.instructions_since_last + 1
+                   for access in self.accesses
+                   if not access.is_prefetch)
+
+    @property
+    def unique_pcs(self) -> List[int]:
+        seen = set()
+        ordered = []
+        for access in self.accesses:
+            if access.pc not in seen:
+                seen.add(access.pc)
+                ordered.append(access.pc)
+        return ordered
+
+    @property
+    def unique_addresses(self) -> List[int]:
+        seen = set()
+        ordered = []
+        for access in self.accesses:
+            if access.address not in seen:
+                seen.add(access.address)
+                ordered.append(access.address)
+        return ordered
+
+    def append(self, access: TraceAccess) -> None:
+        self.accesses.append(access)
+
+    def extend(self, accesses: Iterable[TraceAccess]) -> None:
+        self.accesses.extend(accesses)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "MemoryTrace":
+        """Return a shallow copy containing a contiguous window of accesses."""
+        return MemoryTrace(
+            workload=self.workload,
+            accesses=self.accesses[start:stop],
+            binary=self.binary,
+            description=self.description,
+            seed=self.seed,
+        )
+
+    def pc_access_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for access in self.accesses:
+            counts[access.pc] = counts.get(access.pc, 0) + 1
+        return counts
+
+    def with_prefetches(self, prefetches: Sequence[TraceAccess]) -> "MemoryTrace":
+        """Return a new trace with prefetch accesses merged in order.
+
+        Prefetches are tagged with the position (``instructions_since_last``
+        is reused to carry ordering) by the caller; here we simply interleave
+        them before the access with the same index when provided as
+        ``(index, access)`` pairs via :func:`insert_prefetches` instead.
+        """
+        merged = MemoryTrace(
+            workload=self.workload,
+            accesses=list(self.accesses) + list(prefetches),
+            binary=self.binary,
+            description=self.description,
+            seed=self.seed,
+        )
+        return merged
+
+
+def insert_prefetches(trace: MemoryTrace,
+                      prefetch_plan: Sequence[tuple],
+                      prefetch_pc: int) -> MemoryTrace:
+    """Insert software prefetch accesses into a trace.
+
+    ``prefetch_plan`` is a sequence of ``(position, address)`` tuples meaning
+    "before the access at index ``position``, issue a prefetch of
+    ``address``".  The resulting trace models a recompiled binary with
+    ``__builtin_prefetch`` calls added (software-prefetch use case, section
+    6.3 of the paper).
+    """
+    plan_by_position: Dict[int, List[int]] = {}
+    for position, address in prefetch_plan:
+        plan_by_position.setdefault(position, []).append(address)
+
+    new_trace = MemoryTrace(
+        workload=trace.workload,
+        binary=trace.binary,
+        description=trace.description + " (+software prefetch)",
+        seed=trace.seed,
+    )
+    for index, access in enumerate(trace.accesses):
+        for address in plan_by_position.get(index, ()):  # prefetches first
+            new_trace.append(
+                TraceAccess(
+                    pc=prefetch_pc,
+                    address=address,
+                    is_write=False,
+                    instructions_since_last=0,
+                    is_prefetch=True,
+                )
+            )
+        new_trace.append(access)
+    return new_trace
