@@ -24,6 +24,8 @@ import zipfile
 PACKAGE_NAME = "repro"
 VERSION = "1.0.0"
 REQUIRES = ("numpy",)
+#: console scripts installed with the wheel (mirrors [project.scripts]).
+CONSOLE_SCRIPTS = {"cachemind": "repro.cli:main"}
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _SRC = os.path.join(_ROOT, "src")
@@ -61,12 +63,20 @@ def _record_entry(name: str, data: bytes) -> str:
     return f"{name},sha256={encoded},{len(data)}"
 
 
+def _entry_points_text() -> str:
+    lines = ["[console_scripts]"]
+    lines.extend(f"{name} = {target}"
+                 for name, target in sorted(CONSOLE_SCRIPTS.items()))
+    return "\n".join(lines) + "\n"
+
+
 def _write_wheel(wheel_directory: str, contents: dict) -> str:
     """Write a wheel with the given {archive name: bytes} contents."""
     dist_info = _dist_info_name()
     contents = dict(contents)
     contents[f"{dist_info}/METADATA"] = _metadata_text().encode("utf-8")
     contents[f"{dist_info}/WHEEL"] = _wheel_text().encode("utf-8")
+    contents[f"{dist_info}/entry_points.txt"] = _entry_points_text().encode("utf-8")
     record_lines = [_record_entry(name, data) for name, data in contents.items()]
     record_lines.append(f"{dist_info}/RECORD,,")
     record_data = "\n".join(record_lines).encode("utf-8") + b"\n"

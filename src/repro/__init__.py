@@ -1,0 +1,103 @@
+"""CacheMind reproduction: natural-language, trace-grounded reasoning for
+cache replacement (conf_asplos_MhapsekarGAA26).
+
+The three-line session API:
+
+    >>> from repro import CacheMind
+    >>> session = CacheMind(workloads=["astar"], policies=["lru", "belady"])
+    >>> print(session.ask("What is the miss rate of lru on astar?"))
+
+Layer stack (each importable as ``repro.<layer>``):
+
+* :mod:`repro.workloads` -- synthetic SPEC-like trace generators,
+* :mod:`repro.policies`  -- replacement policies (registry-driven),
+* :mod:`repro.sim`       -- the trace-driven LLC / hierarchy simulator,
+* :mod:`repro.tracedb`   -- the eviction-annotated external store,
+* :mod:`repro.retrieval` -- Sieve, Ranger and the embedding baseline
+  (registry-driven),
+* :mod:`repro.llm`       -- simulated LLM backends (registry-driven),
+* :mod:`repro.core`      -- query parsing, answer generation and the
+  :class:`CacheMind` facade tying all of the above together.
+
+``python -m repro`` exposes the ``simulate``, ``ask`` and ``bench``
+subcommands over the same facade.
+"""
+
+from repro.core.answer import Answer
+from repro.core.pipeline import SIMULATION_CACHE, CacheMind, SimulationCache
+from repro.errors import UnknownNameError
+from repro.core.query import QueryIntent, QueryParser
+from repro.llm.backend import (
+    LLMBackend,
+    available_backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.llm.simulated import SimulatedLLM, create_backend
+from repro.policies.base import (
+    ReplacementPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
+from repro.retrieval.base import (
+    Retriever,
+    available_retrievers,
+    get_retriever,
+    register_retriever,
+)
+from repro.sim.config import PAPER_CONFIG, SMALL_CONFIG, TINY_CONFIG, HierarchyConfig
+from repro.sim.engine import SimulationEngine, SimulationResult, simulate
+from repro.tracedb.database import TraceDatabase, TraceEntry, build_database
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    available_workloads,
+    generate_trace,
+    get_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # session facade
+    "CacheMind",
+    "SimulationCache",
+    "SIMULATION_CACHE",
+    "Answer",
+    "QueryIntent",
+    "QueryParser",
+    "UnknownNameError",
+    # simulation
+    "HierarchyConfig",
+    "PAPER_CONFIG",
+    "SMALL_CONFIG",
+    "TINY_CONFIG",
+    "SimulationEngine",
+    "SimulationResult",
+    "simulate",
+    # store
+    "TraceDatabase",
+    "TraceEntry",
+    "build_database",
+    # registries
+    "ReplacementPolicy",
+    "available_policies",
+    "get_policy",
+    "register_policy",
+    "Retriever",
+    "available_retrievers",
+    "get_retriever",
+    "register_retriever",
+    "LLMBackend",
+    "SimulatedLLM",
+    "available_backend_names",
+    "get_backend",
+    "register_backend",
+    "create_backend",
+    # workloads
+    "WorkloadGenerator",
+    "available_workloads",
+    "get_workload",
+    "generate_trace",
+]

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro {simulate,ask,bench}``.
+
+All three subcommands drive the same :class:`~repro.core.pipeline.CacheMind`
+facade (and therefore share the process-wide simulation memoiser):
+
+* ``simulate`` -- run one (workload, policy) simulation and print the
+  summary plus the trace-database metadata line,
+* ``ask``      -- answer one or more natural-language questions with full
+  provenance,
+* ``bench``    -- build the database once and print the per-workload,
+  per-policy metric table with the winner per row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.pipeline import CacheMind
+from repro.errors import UnknownNameError
+from repro.llm.backend import available_backend_names
+from repro.policies.base import available_policies
+from repro.retrieval.base import available_retrievers
+from repro.sim.config import PAPER_CONFIG, SMALL_CONFIG, TINY_CONFIG
+from repro.tracedb.database import DEFAULT_POLICIES, DEFAULT_WORKLOADS
+from repro.workloads.generator import available_workloads
+
+CONFIGS = {"tiny": TINY_CONFIG, "small": SMALL_CONFIG, "paper": PAPER_CONFIG}
+
+
+def _csv(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workloads", type=_csv,
+                        default=list(DEFAULT_WORKLOADS),
+                        help="comma-separated workload names "
+                             f"(default: {','.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--policies", type=_csv,
+                        default=list(DEFAULT_POLICIES),
+                        help="comma-separated policy names "
+                             f"(default: {','.join(DEFAULT_POLICIES)})")
+    parser.add_argument("--accesses", type=int, default=20000,
+                        help="trace length per workload (default: 20000)")
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="small",
+                        help="hierarchy configuration (default: small)")
+    parser.add_argument("--mode", choices=["llc_only", "hierarchy"],
+                        default="llc_only", help="simulation mode")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def _make_session(args: argparse.Namespace, **overrides) -> CacheMind:
+    options = dict(
+        workloads=args.workloads,
+        policies=args.policies,
+        num_accesses=args.accesses,
+        config=CONFIGS[args.config],
+        mode=args.mode,
+        seed=args.seed,
+    )
+    options.update(overrides)
+    return CacheMind(**options)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CacheMind: natural-language, trace-grounded reasoning "
+                    "for cache replacement.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one (workload, policy) cache simulation")
+    _add_session_arguments(simulate)
+    simulate.add_argument("--workload", default=None,
+                          help="single workload (default: first of --workloads)")
+    simulate.add_argument("--policy", default=None,
+                          help="single policy (default: first of --policies)")
+    simulate.add_argument("--list", action="store_true",
+                          help="list available workloads/policies and exit")
+
+    ask = subparsers.add_parser(
+        "ask", help="answer natural-language questions over the trace store")
+    _add_session_arguments(ask)
+    ask.add_argument("questions", nargs="*", metavar="QUESTION",
+                     help="question(s) to answer; omit to read stdin lines")
+    ask.add_argument("--backend", default="gpt-4o",
+                     help="LLM backend name (default: gpt-4o)")
+    ask.add_argument("--prompting",
+                     choices=["zero_shot", "one_shot", "few_shot"],
+                     default="zero_shot")
+    ask.add_argument("--retriever", default=None,
+                     help="force one retriever instead of intent routing")
+    ask.add_argument("--show-evidence", action="store_true",
+                     help="print the evidence lines under each answer")
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark every policy on every workload")
+    _add_session_arguments(bench)
+    bench.add_argument("--metric", choices=["miss_rate", "hit_rate", "ipc"],
+                       default="miss_rate")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.list:
+        print("workloads: ", ", ".join(available_workloads()))
+        print("policies:  ", ", ".join(available_policies()))
+        print("retrievers:", ", ".join(available_retrievers()))
+        print("backends:  ", ", ".join(available_backend_names()))
+        return 0
+    workload = args.workload or args.workloads[0]
+    policy = args.policy or args.policies[0]
+    session = _make_session(args, workloads=[workload], policies=[policy])
+    result = session.simulate(workload, policy)
+    print(result.summary())
+    stats = result.llc_stats
+    print(f"  hits {stats.hits} / misses {stats.misses} "
+          f"(compulsory {stats.compulsory_misses}, "
+          f"capacity {stats.capacity_misses}, "
+          f"conflict {stats.conflict_misses})")
+    print(f"  wrong evictions: {result.wrong_evictions}; "
+          f"records kept: {len(result.records)}")
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    questions = list(args.questions)
+    if not questions:
+        questions = [line.strip() for line in sys.stdin if line.strip()]
+    if not questions:
+        print("no questions given", file=sys.stderr)
+        return 2
+    session = _make_session(args, backend=args.backend,
+                            prompting=args.prompting,
+                            retriever=args.retriever)
+    for answer in session.ask_many(questions):
+        print(f"Q: {answer.question}")
+        print(f"A: {answer.text}")
+        print(f"   [category={answer.category} retriever={answer.retriever} "
+              f"backend={answer.backend} quality={answer.retrieval_quality} "
+              f"grounded={answer.grounded}]")
+        if answer.sources:
+            print(f"   sources: {', '.join(answer.sources)}")
+        if args.show_evidence:
+            for line in answer.evidence:
+                print(f"   | {line}")
+        print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    session = _make_session(args)
+    table = session.compare_policies(metric=args.metric)
+    percent = args.metric in ("miss_rate", "hit_rate")
+    name_width = max(len(name) for name in table)
+    print(f"{args.metric} per (workload, policy) — config '{args.config}', "
+          f"{args.accesses} accesses")
+    for workload, row in table.items():
+        best, _rate = session.best_policy(workload, metric=args.metric)
+        cells = []
+        for policy, value in sorted(row.items()):
+            rendered = f"{value * 100:.2f}%" if percent else f"{value:.4f}"
+            marker = "*" if policy == best else " "
+            cells.append(f"{policy}={rendered}{marker}")
+        print(f"  {workload:<{name_width}}  " + "  ".join(cells))
+    print("  (* = best policy per workload)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "ask": _cmd_ask,
+        "bench": _cmd_bench,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other
+        # well-behaved CLI tools.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (UnknownNameError, ValueError) as error:
+        # Registry lookups and configuration validation get the one-line
+        # treatment; any other exception is a genuine bug and tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

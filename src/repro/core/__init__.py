@@ -1,0 +1,71 @@
+"""CacheMind core: query parsing, answer objects and the session pipeline.
+
+* :mod:`~repro.core.query`    -- the shared NLU layer (:class:`QueryParser`
+  and the CacheMindBench question-type taxonomy),
+* :mod:`~repro.core.answer`   -- the :class:`Answer` dataclass with
+  provenance (evidence, sources, retrieval quality, backend/retriever),
+* :mod:`~repro.core.generate` -- the :class:`AnswerGenerator` turning
+  retrieved context into answers through the backend's skill checks,
+* :mod:`~repro.core.pipeline` -- the :class:`CacheMind` facade and the
+  process-wide :class:`SimulationCache`.
+"""
+
+from repro.core.answer import Answer
+from repro.core.query import (
+    ARITHMETIC,
+    CODE_GENERATION,
+    CONCEPT,
+    COUNT,
+    GENERAL,
+    HIT_MISS,
+    MISS_RATE,
+    PC_LIST,
+    POLICY_ALIASES,
+    POLICY_ANALYSIS,
+    POLICY_COMPARISON,
+    REASONING_TYPES,
+    SEMANTIC_ANALYSIS,
+    SET_ANALYSIS,
+    TRACE_GROUNDED_TYPES,
+    TRICK,
+    WORKLOAD_ANALYSIS,
+    QueryIntent,
+    QueryParser,
+)
+from repro.core.generate import AnswerGenerator
+from repro.core.pipeline import (
+    RANGER_TYPES,
+    SIEVE_TYPES,
+    SIMULATION_CACHE,
+    CacheMind,
+    SimulationCache,
+)
+
+__all__ = [
+    "Answer",
+    "AnswerGenerator",
+    "CacheMind",
+    "SimulationCache",
+    "SIMULATION_CACHE",
+    "RANGER_TYPES",
+    "SIEVE_TYPES",
+    "QueryIntent",
+    "QueryParser",
+    "POLICY_ALIASES",
+    "TRACE_GROUNDED_TYPES",
+    "REASONING_TYPES",
+    "HIT_MISS",
+    "MISS_RATE",
+    "POLICY_COMPARISON",
+    "COUNT",
+    "ARITHMETIC",
+    "TRICK",
+    "CONCEPT",
+    "CODE_GENERATION",
+    "POLICY_ANALYSIS",
+    "WORKLOAD_ANALYSIS",
+    "SEMANTIC_ANALYSIS",
+    "PC_LIST",
+    "SET_ANALYSIS",
+    "GENERAL",
+]

@@ -1,0 +1,407 @@
+"""The CacheMind session facade: one object from question to grounded answer.
+
+This module is the public seam over the whole reproduction.  A
+:class:`CacheMind` session owns
+
+* a lazily built :class:`~repro.tracedb.database.TraceDatabase` whose
+  underlying simulations are memoised in a process-wide
+  :class:`SimulationCache` (repeated sessions over the same
+  ``(workload, policy, config)`` tuples never re-simulate),
+* a :class:`~repro.core.query.QueryParser` shared with the retrievers,
+* one retriever per registered strategy, constructed on first use, with
+  intent-based routing: Sieve for trace-grounded lookups, Ranger for
+  exact-computation categories (counts, arithmetic, code generation), the
+  embedding baseline as the fallback,
+* a pluggable LLM backend (any registered name or
+  :class:`~repro.llm.backend.LLMBackend` instance) driving the
+  :class:`~repro.core.generate.AnswerGenerator`,
+* conversation memory threaded into every generator prompt.
+
+Batch entry points (:meth:`CacheMind.ask_many`,
+:meth:`CacheMind.compare_policies`) share the single database build, which is
+the shape the asynchronous/batched serving work (Kinsy et al.) plugs into.
+
+    >>> from repro import CacheMind
+    >>> session = CacheMind(workloads=["astar"], policies=["lru", "belady"])
+    >>> answer = session.ask("What is the miss rate of lru on astar?")
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.answer import Answer
+from repro.core.generate import AnswerGenerator
+from repro.core.query import (
+    ARITHMETIC,
+    CODE_GENERATION,
+    COUNT,
+    HIT_MISS,
+    MISS_RATE,
+    PC_LIST,
+    POLICY_ANALYSIS,
+    POLICY_COMPARISON,
+    QueryIntent,
+    QueryParser,
+    SEMANTIC_ANALYSIS,
+    SET_ANALYSIS,
+    TRICK,
+    WORKLOAD_ANALYSIS,
+)
+from repro.llm.backend import LLMBackend, get_backend
+from repro.llm.memory import ConversationMemory
+from repro.retrieval.base import Retriever, get_retriever, resolve_retriever_name
+from repro.sim.config import HierarchyConfig, SMALL_CONFIG
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.tracedb.database import (
+    DEFAULT_POLICIES,
+    DEFAULT_WORKLOADS,
+    TraceDatabase,
+    TraceEntry,
+    make_entry,
+)
+from repro.workloads.generator import get_workload
+from repro.workloads.trace import MemoryTrace
+
+#: metrics where a smaller value wins (everything else is higher-is-better);
+#: consumed by best_policy, which the CLI bench renderer delegates to.
+LOWER_IS_BETTER_METRICS = ("miss_rate",)
+
+#: question types answered by exact computation over the store (Ranger).
+RANGER_TYPES = (COUNT, ARITHMETIC, CODE_GENERATION, PC_LIST, SET_ANALYSIS)
+#: trace-grounded types answered from Sieve's structured bundle.
+SIEVE_TYPES = (HIT_MISS, MISS_RATE, POLICY_COMPARISON, TRICK,
+               POLICY_ANALYSIS, WORKLOAD_ANALYSIS, SEMANTIC_ANALYSIS)
+
+
+# ----------------------------------------------------------------------
+# simulation memoisation
+# ----------------------------------------------------------------------
+class SimulationCache:
+    """Process-wide memoiser for simulation runs and generated traces.
+
+    Keys cover everything that determines a run's output: workload, policy,
+    the (hashable, frozen) hierarchy config, engine mode, trace length, seed
+    and the record cap.  ``hits``/``misses`` are exposed so callers and tests
+    can verify that repeated sessions reuse prior work.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        # OrderedDicts with LRU eviction: the cache is process-wide and
+        # simulation results are large, so a sweep over many seeds or trace
+        # lengths must not grow memory without bound.
+        self.max_entries = max_entries
+        self._results: "OrderedDict[tuple, SimulationResult]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, TraceEntry]" = OrderedDict()
+        self._traces: "OrderedDict[tuple, Tuple[MemoryTrace, str]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _put(self, store: "OrderedDict", key: tuple, value) -> None:
+        """Insert under the LRU bound (caller holds the lock)."""
+        store.setdefault(key, value)
+        store.move_to_end(key)
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+
+    def _get(self, store: "OrderedDict", key: tuple):
+        """LRU-aware lookup (caller holds the lock)."""
+        value = store.get(key)
+        if value is not None:
+            store.move_to_end(key)
+        return value
+
+    # ------------------------------------------------------------------
+    def get_trace(self, workload: str, num_accesses: int,
+                  seed: int) -> Tuple[MemoryTrace, str]:
+        """Generate (or reuse) a workload trace; returns (trace, description).
+
+        The returned trace is the shared cached object: treat it as
+        immutable.  To modify it, work on a deep copy
+        (``copy.deepcopy(trace)`` — ``slice()`` shares the access objects),
+        or every later session with the same key sees the mutation.
+        """
+        key = (workload, num_accesses, seed)
+        with self._lock:
+            cached = self._get(self._traces, key)
+        if cached is not None:
+            return cached
+        # Generated outside the lock: concurrent first-builds of the same key
+        # may duplicate this (benign, keyed by value) rather than serialise
+        # every other caller behind one generation.
+        generator = get_workload(workload, seed=seed)
+        trace = generator.generate(num_accesses)
+        value = (trace, generator.description)
+        with self._lock:
+            self._put(self._traces, key, value)
+        return value
+
+    @staticmethod
+    def _key(engine: SimulationEngine, trace: MemoryTrace,
+             policy_name: str) -> tuple:
+        # trace.fingerprint() keys by content, so a hand-built trace sharing
+        # (workload, length, seed) with a generated one cannot collide.
+        return (trace.workload, policy_name, engine.config, engine.mode,
+                len(trace), trace.seed, trace.fingerprint(),
+                engine.max_records, engine.history_window,
+                engine.annotate_context)
+
+    def get_or_run(self, engine: SimulationEngine, trace: MemoryTrace,
+                   policy_name: str) -> SimulationResult:
+        """Run ``trace`` under ``policy_name``, reusing a memoised result."""
+        key = self._key(engine, trace, policy_name)
+        with self._lock:
+            result = self._get(self._results, key)
+            if result is not None:
+                self.hits += 1
+                return result
+        result = engine.run(trace, policy_name)
+        with self._lock:
+            self._put(self._results, key, result)
+            self.misses += 1
+        return result
+
+    def get_entry(self, engine: SimulationEngine, trace: MemoryTrace,
+                  policy_name: str, description: str = "") -> "TraceEntry":
+        """A memoised database entry (simulation + derived table/statistics).
+
+        The table conversion and whole-trace statistics dominate repeat
+        session builds once the simulation itself is cached, so the derived
+        :class:`TraceEntry` is memoised under the same key.
+        """
+        key = self._key(engine, trace, policy_name) + (description,)
+        with self._lock:
+            entry = self._get(self._entries, key)
+            if entry is not None:
+                # An entry hit is an avoided simulation: count it so the
+                # hit/miss counters keep describing simulation reuse.
+                self.hits += 1
+                return entry
+        result = self.get_or_run(engine, trace, policy_name)
+        entry = make_entry(result, workload_description=description)
+        with self._lock:
+            self._put(self._entries, key, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def stats(self) -> Dict[str, int]:
+        return {"results": len(self._results),
+                "derived_entries": len(self._entries),
+                "traces": len(self._traces),
+                "hits": self.hits, "misses": self.misses}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()
+            self._entries.clear()
+            self._traces.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: default process-wide cache shared by every session.
+SIMULATION_CACHE = SimulationCache()
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
+class CacheMind:
+    """End-to-end session: workloads + policies + backend -> answers."""
+
+    def __init__(self,
+                 workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                 policies: Sequence[str] = DEFAULT_POLICIES,
+                 num_accesses: int = 20000,
+                 config: HierarchyConfig = SMALL_CONFIG,
+                 mode: str = "llc_only",
+                 seed: int = 0,
+                 backend: Union[str, LLMBackend] = "gpt-4o",
+                 prompting: str = "zero_shot",
+                 retriever: Union[str, Retriever, None] = None,
+                 max_records: Optional[int] = None,
+                 simulation_cache: Optional[SimulationCache] = None):
+        if not workloads:
+            raise ValueError("CacheMind needs at least one workload")
+        if not policies:
+            raise ValueError("CacheMind needs at least one policy")
+        self.workloads = tuple(workloads)
+        self.policies = tuple(policies)
+        self.num_accesses = num_accesses
+        self.config = config
+        self.mode = mode
+        self.seed = seed
+        self.prompting = prompting
+        self.max_records = max_records
+        self.simulation_cache = (simulation_cache if simulation_cache is not None
+                                 else SIMULATION_CACHE)
+        # get_backend passes instances through; lenient=True drops the
+        # always-offered seed/prompting for factories not declaring them.
+        self.backend = get_backend(backend, lenient=True, seed=seed,
+                                   prompting=prompting)
+        self.generator = AnswerGenerator(self.backend, prompting=prompting)
+        self.memory = ConversationMemory()
+        self.parser = QueryParser(known_workloads=self.workloads,
+                                  known_policies=self.policies)
+        self.history: List[Answer] = []
+        self.database_builds = 0
+        # Validate a forced retriever name eagerly (like the backend) so a
+        # typo errors before the expensive database build.
+        if isinstance(retriever, str):
+            resolve_retriever_name(retriever)
+        self._forced_retriever = retriever
+        self._database: Optional[TraceDatabase] = None
+        self._retrievers: Dict[str, Retriever] = {}
+
+    # ------------------------------------------------------------------
+    # database lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> TraceDatabase:
+        """The trace database, built on first use and then reused."""
+        if self._database is None:
+            self._database = self._build_database()
+        return self._database
+
+    def _build_database(self) -> TraceDatabase:
+        database = TraceDatabase(config=self.config)
+        engine = SimulationEngine(config=self.config, mode=self.mode,
+                                  max_records=self.max_records)
+        for workload in self.workloads:
+            trace, description = self.simulation_cache.get_trace(
+                workload, self.num_accesses, self.seed)
+            for policy in self.policies:
+                entry = self.simulation_cache.get_entry(
+                    engine, trace, policy, description=description)
+                database.install_entry(entry)
+        self.database_builds += 1
+        return database
+
+    def simulate(self, workload: str, policy: str) -> SimulationResult:
+        """One memoised simulation run (shares the session's cache)."""
+        engine = SimulationEngine(config=self.config, mode=self.mode,
+                                  max_records=self.max_records)
+        trace, _description = self.simulation_cache.get_trace(
+            workload, self.num_accesses, self.seed)
+        return self.simulation_cache.get_or_run(engine, trace, policy)
+
+    # ------------------------------------------------------------------
+    # retriever routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def route(intent: QueryIntent) -> str:
+        """Retriever name for a parsed intent (the dual-retrieval split)."""
+        if intent.question_type in RANGER_TYPES:
+            return "ranger"
+        if intent.question_type in SIEVE_TYPES:
+            return "sieve"
+        return "embedding"
+
+    def retriever(self, name_or_instance: Union[str, Retriever]) -> Retriever:
+        """A per-session retriever instance, constructed on first use."""
+        if isinstance(name_or_instance, Retriever):
+            return name_or_instance
+        # Resolve aliases before the cache lookup so 'baseline' after
+        # 'embedding' reuses the (expensively indexed) same instance.
+        name = resolve_retriever_name(name_or_instance)
+        if name not in self._retrievers:
+            # Ranger's code generation is driven by the session backend so
+            # cross-backend benchmarks exercise per-backend codegen skill.
+            kwargs = {"code_llm": self.backend} if name == "ranger" else {}
+            self._retrievers[name] = get_retriever(name, self.database, **kwargs)
+        return self._retrievers[name]
+
+    # ------------------------------------------------------------------
+    # asking questions
+    # ------------------------------------------------------------------
+    def ask(self, question: str,
+            retriever: Union[str, Retriever, None] = None) -> Answer:
+        """Answer one natural-language question with provenance."""
+        intent = self.parser.parse(question)
+        # `is None` rather than truthiness: an explicit '' is a configuration
+        # error and must surface as UnknownNameError, not silent routing.
+        chosen = retriever if retriever is not None else self._forced_retriever
+        if chosen is None:
+            chosen = self.route(intent)
+        selected = self.retriever(chosen)
+        context = selected.retrieve(intent)
+        memory_block = self.memory.context_block(question) if len(self.memory) else ""
+        answer = self.generator.generate(intent, context, memory_block=memory_block)
+        self.memory.add_turn("user", question)
+        self.memory.add_turn("assistant", answer.text,
+                             metadata={"category": answer.category})
+        self.history.append(answer)
+        return answer
+
+    def ask_many(self, questions: Iterable[str],
+                 retriever: Union[str, Retriever, None] = None) -> List[Answer]:
+        """Answer a batch of questions over one shared database build."""
+        _ = self.database  # force the single build up front
+        return [self.ask(question, retriever=retriever) for question in questions]
+
+    # ------------------------------------------------------------------
+    # batch analytics
+    # ------------------------------------------------------------------
+    def compare_policies(self, workload: Optional[str] = None,
+                         policies: Optional[Sequence[str]] = None,
+                         metric: str = "miss_rate"
+                         ) -> Dict[str, Dict[str, float]]:
+        """Per-workload ``{policy: metric}`` table over one database build.
+
+        ``metric`` is one of ``miss_rate``, ``hit_rate`` or ``ipc``.
+        """
+        if metric not in ("miss_rate", "hit_rate", "ipc"):
+            raise ValueError("metric must be 'miss_rate', 'hit_rate' or 'ipc'")
+        database = self.database
+        selected_workloads = ([workload] if workload is not None
+                              else list(self.workloads))
+        selected_policies = list(policies) if policies is not None else list(
+            self.policies)
+        table: Dict[str, Dict[str, float]] = {}
+        for workload_name in selected_workloads:
+            row: Dict[str, float] = {}
+            for policy_name in selected_policies:
+                entry = database.get(workload_name, policy_name)
+                if metric == "ipc":
+                    row[policy_name] = (entry.result.ipc
+                                        if entry.result is not None else 0.0)
+                elif metric == "hit_rate":
+                    row[policy_name] = entry.statistics.hit_rate
+                else:
+                    row[policy_name] = entry.statistics.miss_rate
+            table[workload_name] = row
+        return table
+
+    def best_policy(self, workload: str,
+                    metric: str = "miss_rate") -> Tuple[str, float]:
+        """The winning policy for one workload (lowest miss rate / highest
+        hit rate or IPC)."""
+        row = self.compare_policies(workload=workload, metric=metric)[workload]
+        chooser = min if metric in LOWER_IS_BETTER_METRICS else max
+        name = chooser(row, key=row.get)
+        return name, row[name]
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [
+            f"CacheMind session: {len(self.workloads)} workloads x "
+            f"{len(self.policies)} policies, backend {self.backend.name}, "
+            f"config '{self.config.name}', {self.num_accesses} accesses",
+        ]
+        if self._database is not None:
+            lines.append(self._database.describe())
+        else:
+            lines.append("trace database: not built yet (built lazily on "
+                         "first ask)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"CacheMind(workloads={list(self.workloads)!r}, "
+                f"policies={list(self.policies)!r}, "
+                f"backend={self.backend.name!r})")

@@ -88,9 +88,12 @@ class QueryIntent:
     policies: List[str] = field(default_factory=list)
     aggregation: Optional[str] = None     # "mean" | "count" | "std" | "sum"
     target_field: Optional[str] = None    # e.g. "evicted_reuse_distance"
-    comparison: Optional[str] = None      # "lowest" | "highest"
+    comparison: Optional[str] = None      # "lowest" | "highest" | "best" | "worst"
     wants_sets: bool = False
     wants_pc_list: bool = False
+    #: the question is about hits ("hit rate", "most hits") rather than
+    #: misses; answers must report/rank by 1 - miss rate.
+    wants_hit_rate: bool = False
 
     @property
     def pc(self) -> Optional[str]:
@@ -126,6 +129,23 @@ class QueryIntent:
         if self.comparison:
             parts.append(f"comparison={self.comparison}")
         return " ".join(parts)
+
+
+def resolve_comparison(comparison: Optional[str],
+                       wants_hit_rate: bool = False) -> bool:
+    """Map a parsed superlative onto the miss-rate ordering.
+
+    Returns True when the winner is the policy with the LOWEST miss rate.
+    ``best``/None always mean the winning policy; ``worst`` the opposite;
+    ``lowest``/``highest`` refer to the named metric, so hit-oriented
+    questions invert them.  Shared by the Sieve answer path and Ranger's
+    code generator so the two cannot diverge.
+    """
+    if comparison in ("best", None):
+        return True
+    if comparison == "worst":
+        return False
+    return (comparison == "highest") == wants_hit_rate
 
 
 class QueryParser:
@@ -267,12 +287,26 @@ class QueryParser:
         elif "recency" in lowered:
             intent.target_field = "accessed_address_recency_numeric"
 
-        if "lowest" in lowered or "least" in lowered or "fewest" in lowered:
+        # Word boundaries keep "almost"/"utmost" from matching, and the
+        # quantifier phrases "at least"/"at most" are not superlatives.
+        superlatives = lowered.replace("at least", " ").replace("at most", " ")
+        if re.search(r"\b(lowest|least|fewest)\b", superlatives):
             intent.comparison = "lowest"
-        elif "highest" in lowered or "most" in lowered or "largest" in lowered:
+        elif re.search(r"\b(highest|most|largest)\b", superlatives):
             intent.comparison = "highest"
+        elif re.search(r"\bbest\b", superlatives):
+            intent.comparison = "best"
+        elif re.search(r"\bworst\b", superlatives):
+            intent.comparison = "worst"
 
-        intent.wants_sets = "set" in lowered and "cache set" in lowered or "sets" in lowered
+        # "cache set"/"cache sets" or the standalone word "sets"; the word
+        # boundary keeps substrings like "offsets" or "onsets" from matching.
+        intent.wants_sets = ("cache set" in lowered
+                             or re.search(r"\bsets\b", lowered) is not None)
+        intent.wants_hit_rate = (("hit rate" in lowered
+                                  or re.search(r"\bhits\b", lowered) is not None)
+                                 and "miss rate" not in lowered
+                                 and re.search(r"\bmisses\b", lowered) is None)
         intent.wants_pc_list = "list" in lowered and "pc" in lowered
 
         intent.question_type = self.classify(question, intent)

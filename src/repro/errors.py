@@ -1,0 +1,16 @@
+"""Shared exception types.
+
+:class:`UnknownNameError` subclasses ``KeyError`` so existing callers that
+catch ``KeyError`` keep working, while surfaces like the CLI can catch
+registry-lookup failures specifically instead of masking genuine bugs that
+happen to raise ``KeyError``.
+"""
+
+
+class UnknownNameError(KeyError):
+    """A registry lookup (policy, workload, retriever, backend) failed."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; these messages are
+        # human-readable sentences and must print unquoted.
+        return self.args[0] if self.args else ""

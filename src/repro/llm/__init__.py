@@ -25,13 +25,22 @@ backends:
 """
 
 from repro.llm.embeddings import HashingEmbedder, cosine_similarity
+# available_backends lists the capability PROFILES in the paper's reporting
+# order; available_backend_names (backend.py) lists every REGISTERED factory
+# name get_backend accepts, which additionally includes "simulated".
 from repro.llm.profiles import (
     BACKEND_PROFILES,
     CapabilityProfile,
     available_backends,
     get_profile,
 )
-from repro.llm.backend import GenerationRequest, LLMBackend
+from repro.llm.backend import (
+    GenerationRequest,
+    LLMBackend,
+    available_backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.llm.simulated import SimulatedLLM, create_backend
 from repro.llm.memory import ConversationMemory, MemoryItem
 from repro.llm.prompts import (
@@ -51,6 +60,9 @@ __all__ = [
     "get_profile",
     "GenerationRequest",
     "LLMBackend",
+    "available_backend_names",
+    "get_backend",
+    "register_backend",
     "SimulatedLLM",
     "create_backend",
     "ConversationMemory",

@@ -13,10 +13,12 @@ A backend exposes two things to the rest of the system:
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.errors import UnknownNameError
 from repro.llm.profiles import CapabilityProfile
 
 
@@ -69,3 +71,88 @@ class LLMBackend(ABC):
 
     def describe(self) -> str:
         return f"{self.name} (simulated capability profile)"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+#: name -> factory producing an :class:`LLMBackend`.  Mirrors the policy and
+#: retriever registries so API-backed implementations can plug in later.
+_REGISTRY: Dict[str, Callable[..., LLMBackend]] = {}
+
+
+def register_backend(name: str) -> Callable[[Callable[..., LLMBackend]],
+                                            Callable[..., LLMBackend]]:
+    """Decorator registering a backend factory under ``name``:
+
+        @register_backend("simulated")
+        def make(profile="gpt-4o", **kwargs): ...
+    """
+
+    def decorator(factory: Callable[..., LLMBackend]) -> Callable[..., LLMBackend]:
+        _REGISTRY[name.lower()] = factory
+        return factory
+
+    return decorator
+
+
+def available_backend_names() -> List[str]:
+    """Names of all registered backend factories."""
+    _ensure_backends_imported()
+    return sorted(_REGISTRY)
+
+
+def get_backend(spec: Union[str, LLMBackend, None] = None,
+                lenient: bool = False, **kwargs) -> LLMBackend:
+    """Resolve a backend: an instance passes through, a string is looked up
+    in the registry (profile names like ``gpt-4o`` are registered by the
+    simulated implementation).  ``None`` resolves to the default factory.
+
+    By default every kwarg reaches the factory unchanged, so typos and
+    unsupported options raise TypeError.  ``lenient=True`` (used by
+    CacheMind, which always offers ``seed``/``prompting``) drops those
+    known-optional kwargs when the factory does not declare them.
+    """
+    if isinstance(spec, LLMBackend):
+        return spec
+    _ensure_backends_imported()
+    # Only None means "default": an empty string is a configuration error
+    # and falls through to the unknown-backend message below.
+    name = ("gpt-4o" if spec is None else spec).lower()
+    if name not in _REGISTRY:
+        raise UnknownNameError(f"unknown backend {spec!r}; "
+                               f"available: {available_backend_names()}")
+    factory = _REGISTRY[name]
+    if lenient:
+        kwargs = _accepted_kwargs(factory, kwargs)
+    return factory(**kwargs)
+
+
+#: convenience kwargs CacheMind always offers; dropped under lenient
+#: resolution when a factory does not declare them.  Anything else passes
+#: through so typos still raise TypeError from the factory.
+_OPTIONAL_KWARGS = ("seed", "prompting")
+
+
+def _accepted_kwargs(factory: Callable[..., LLMBackend],
+                     kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Drop the known-optional kwargs a factory does not accept (API-backed
+    factories have no natural ``seed``/``prompting`` parameters, yet lenient
+    callers like CacheMind always offer them)."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins/C callables: pass through
+        return kwargs
+    if any(parameter.kind == parameter.VAR_KEYWORD
+           for parameter in parameters.values()):
+        return kwargs
+    accepted = {name for name, parameter in parameters.items()
+                if parameter.kind in (parameter.POSITIONAL_OR_KEYWORD,
+                                      parameter.KEYWORD_ONLY)}
+    return {key: value for key, value in kwargs.items()
+            if key in accepted or key not in _OPTIONAL_KWARGS}
+
+
+def _ensure_backends_imported() -> None:
+    # Importing the module registers the simulated factories exactly once.
+    import repro.llm.simulated  # noqa: F401

@@ -22,7 +22,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.llm.backend import GenerationRequest, LLMBackend
+from repro.llm.backend import GenerationRequest, LLMBackend, register_backend
 from repro.llm.profiles import BACKEND_PROFILES, CapabilityProfile, get_profile
 
 
@@ -152,3 +152,21 @@ def create_backend(name: str = "gpt-4o", seed: int = 0,
                    prompting: str = "zero_shot") -> SimulatedLLM:
     """Factory used throughout the reproduction."""
     return SimulatedLLM(profile=name, seed=seed, prompting=prompting)
+
+
+register_backend("simulated")(create_backend)
+
+
+def _profile_factory(profile_name: str):
+    # Declared parameters only: a stray name= kwarg must raise, not silently
+    # replace the looked-up profile.
+    def factory(seed: int = 0, prompting: str = "zero_shot") -> SimulatedLLM:
+        return create_backend(profile_name, seed=seed, prompting=prompting)
+    return factory
+
+
+# Each capability profile doubles as a registered backend name, so
+# ``get_backend("gpt-4o")`` works without naming the implementation.
+for _profile_name in BACKEND_PROFILES:
+    register_backend(_profile_name)(_profile_factory(_profile_name))
+del _profile_name

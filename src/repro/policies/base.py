@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Type
 
+from repro.errors import UnknownNameError
+
 #: Sentinel returned by ``choose_victim`` to request bypassing the fill.
 BYPASS = -1
 
@@ -152,7 +154,8 @@ def get_policy(name: str, **kwargs) -> ReplacementPolicy:
     """Instantiate a registered policy by name."""
     _ensure_policies_imported()
     if name not in _REGISTRY:
-        raise KeyError(f"unknown policy {name!r}; available: {available_policies()}")
+        raise UnknownNameError(
+            f"unknown policy {name!r}; available: {available_policies()}")
     return _REGISTRY[name](**kwargs)
 
 

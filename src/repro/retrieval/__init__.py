@@ -23,7 +23,12 @@ from repro.retrieval.context import (
     RetrievedContext,
     grade_quality,
 )
-from repro.retrieval.base import Retriever, get_retriever
+from repro.retrieval.base import (
+    Retriever,
+    available_retrievers,
+    get_retriever,
+    register_retriever,
+)
 from repro.retrieval.sieve import SieveRetriever
 from repro.retrieval.executor import CodeExecutionResult, SandboxExecutor
 from repro.retrieval.codegen import RangerCodeGenerator
@@ -37,7 +42,9 @@ __all__ = [
     "RetrievedContext",
     "grade_quality",
     "Retriever",
+    "available_retrievers",
     "get_retriever",
+    "register_retriever",
     "SieveRetriever",
     "CodeExecutionResult",
     "SandboxExecutor",

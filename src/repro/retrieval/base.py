@@ -1,11 +1,25 @@
-"""Retriever interface and factory."""
+"""Retriever interface, plugin registry and factory.
+
+Retrievers register themselves with :func:`register_retriever` (mirroring
+``repro.policies.base.register_policy``), so external code can plug new
+retrieval strategies into :class:`~repro.core.pipeline.CacheMind` without
+touching this package:
+
+    @register_retriever
+    class MyRetriever(Retriever):
+        name = "mine"
+        ...
+
+    get_retriever("mine", database)
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.core.query import QueryIntent, QueryParser
+from repro.errors import UnknownNameError
 from repro.retrieval.context import RetrievedContext
 from repro.tracedb.database import TraceDatabase
 
@@ -14,6 +28,8 @@ class Retriever(ABC):
     """A retriever maps (question intent, database) to a context bundle."""
 
     name: str = "retriever"
+    #: alternative names accepted by :func:`get_retriever`.
+    aliases: Tuple[str, ...] = ()
 
     def __init__(self, database: TraceDatabase):
         self.database = database
@@ -32,22 +48,51 @@ class Retriever(ABC):
         return f"{self.name} retriever over {len(self.database)} trace entries"
 
 
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Retriever]] = {}
+
+
+def register_retriever(cls: Type[Retriever]) -> Type[Retriever]:
+    """Class decorator registering a retriever under its ``name`` and aliases."""
+    # Lowercase at registration to match the lowercased lookups (and the
+    # backend registry's behaviour).
+    _REGISTRY[cls.name.lower()] = cls
+    for alias in cls.aliases:
+        _REGISTRY[alias.lower()] = cls
+    return cls
+
+
+def available_retrievers() -> List[str]:
+    """Canonical names of all registered retrievers (aliases excluded)."""
+    _ensure_retrievers_imported()
+    return sorted({cls.name for cls in _REGISTRY.values()})
+
+
+def resolve_retriever_name(name: str) -> str:
+    """Canonical registered name for ``name`` (resolving aliases)."""
+    _ensure_retrievers_imported()
+    lowered = name.lower()
+    if lowered not in _REGISTRY:
+        raise UnknownNameError(f"unknown retriever {name!r}; "
+                               f"available: {available_retrievers()}")
+    return _REGISTRY[lowered].name
+
+
 def get_retriever(name_or_instance: Union[str, Retriever],
                   database: TraceDatabase, **kwargs) -> Retriever:
-    """Build a retriever by name ('sieve', 'ranger', 'embedding')."""
+    """Build a registered retriever by name ('sieve', 'ranger', 'embedding')."""
     if isinstance(name_or_instance, Retriever):
         return name_or_instance
-    # Imported here to avoid circular imports at module load time.
-    from repro.retrieval.embedding import EmbeddingRetriever
-    from repro.retrieval.ranger import RangerRetriever
-    from repro.retrieval.sieve import SieveRetriever
-
+    _ensure_retrievers_imported()
     name = name_or_instance.lower()
-    if name == "sieve":
-        return SieveRetriever(database, **kwargs)
-    if name == "ranger":
-        return RangerRetriever(database, **kwargs)
-    if name in ("embedding", "llamaindex", "baseline"):
-        return EmbeddingRetriever(database, **kwargs)
-    raise KeyError(f"unknown retriever {name_or_instance!r}; "
-                   "expected 'sieve', 'ranger' or 'embedding'")
+    if name not in _REGISTRY:
+        raise UnknownNameError(f"unknown retriever {name_or_instance!r}; "
+                               f"available: {available_retrievers()}")
+    return _REGISTRY[name](database, **kwargs)
+
+
+def _ensure_retrievers_imported() -> None:
+    # Importing the package registers every built-in retriever exactly once.
+    import repro.retrieval  # noqa: F401

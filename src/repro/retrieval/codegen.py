@@ -34,6 +34,7 @@ from repro.core.query import (
     SEMANTIC_ANALYSIS,
     SET_ANALYSIS,
     WORKLOAD_ANALYSIS,
+    resolve_comparison,
 )
 
 _KEY_HELPER = """
@@ -207,7 +208,17 @@ class RangerCodeGenerator:
     def _policy_comparison(self, intent: QueryIntent) -> str:
         pc = intent.pc
         workload = intent.workload
-        comparison = intent.comparison or "lowest"
+        comparison = intent.comparison or "best"
+        # Shared with the Sieve answer path: maps the superlative/metric onto
+        # the miss-rate ordering the generated code sorts by.
+        pick_lowest = resolve_comparison(intent.comparison,
+                                         intent.wants_hit_rate)
+        scope = f" for PC {pc}" if pc is not None else ""
+        if comparison in ("best", "worst"):
+            winner_phrase = f"The {comparison} policy"
+        else:
+            metric = "hit rate" if intent.wants_hit_rate else "miss rate"
+            winner_phrase = f"The policy with the {comparison} {metric}"
         body = f"""
         rates = {{}}
         for other_key in sorted(loaded_data):
@@ -223,13 +234,13 @@ class RangerCodeGenerator:
             result = "No matching traces found for the comparison."
         else:
             ordered = sorted(rates.items(), key=lambda item: item[1])
-            best = ordered[0] if {comparison!r} == "lowest" else ordered[-1]
+            best = ordered[0] if {pick_lowest!r} else ordered[-1]
             payload["per_policy"] = rates
             payload["best_policy"] = best[0]
             payload["exact_match"] = True
             listing = ", ".join(f"{{name}}: {{rate * 100:.2f}}%" for name, rate in ordered)
-            result = (f"Miss rates per policy for PC {pc}: {{listing}}. "
-                      f"The {comparison} miss rate is under {{best[0]}}.")
+            result = (f"Miss rates per policy{scope}: {{listing}}. "
+                      f"{winner_phrase} is {{best[0]}}.")
         """
         return _header(intent.workload, intent.policy) + _indent(body)
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.query import QueryIntent
 from repro.llm.embeddings import HashingEmbedder, cosine_similarity
-from repro.retrieval.base import Retriever
+from repro.retrieval.base import Retriever, register_retriever
 from repro.retrieval.context import RetrievedContext
 from repro.tracedb.database import TraceDatabase
 
@@ -40,10 +40,12 @@ class _Chunk:
     outcome: Optional[str] = None
 
 
+@register_retriever
 class EmbeddingRetriever(Retriever):
     """Cosine-similarity retrieval over serialized trace chunks."""
 
     name = "embedding"
+    aliases = ("llamaindex", "baseline")
 
     def __init__(self, database: TraceDatabase,
                  embedder: Optional[HashingEmbedder] = None,

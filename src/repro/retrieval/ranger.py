@@ -29,7 +29,7 @@ from repro.core.query import QueryIntent
 from repro.llm.backend import LLMBackend
 from repro.llm.prompts import RANGER_SYSTEM_PROMPT
 from repro.llm.simulated import create_backend
-from repro.retrieval.base import Retriever
+from repro.retrieval.base import Retriever, register_retriever
 from repro.retrieval.codegen import RangerCodeGenerator
 from repro.retrieval.context import RetrievedContext
 from repro.retrieval.executor import SandboxExecutor
@@ -37,6 +37,7 @@ from repro.tracedb.database import TraceDatabase
 from repro.tracedb.schema import ACCESS_COLUMNS
 
 
+@register_retriever
 class RangerRetriever(Retriever):
     """LLM-guided code-generating retriever."""
 

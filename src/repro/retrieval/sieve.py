@@ -30,7 +30,7 @@ from repro.core.query import (
     WORKLOAD_ANALYSIS,
 )
 from repro.llm.embeddings import HashingEmbedder
-from repro.retrieval.base import Retriever
+from repro.retrieval.base import Retriever, register_retriever
 from repro.retrieval.context import RetrievedContext
 from repro.tracedb.database import TraceDatabase, TraceEntry, trace_key
 from repro.tracedb.metadata import parse_metadata_string
@@ -38,6 +38,7 @@ from repro.tracedb.schema import ACCESS_COLUMNS
 from repro.tracedb.stats import CacheStatisticalExpert
 
 
+@register_retriever
 class SieveRetriever(Retriever):
     """Filter-based symbolic + semantic retriever."""
 
@@ -275,6 +276,8 @@ class SieveRetriever(Retriever):
                           primary: TraceEntry, facts: Dict, text_blocks: List[str]) -> None:
         pc = intent.pc
         if pc is None:
+            self._stage_trace_statistics(intent, entries, primary, facts,
+                                         text_blocks)
             return
         per_policy_stats = {}
         per_policy_miss_rate = {}
@@ -304,6 +307,42 @@ class SieveRetriever(Retriever):
             facts["miss_rate"] = per_policy_stats[any_policy].miss_rate
         if len(per_policy_miss_rate) >= 2:
             facts["per_policy"] = per_policy_miss_rate
+
+    def _stage_trace_statistics(self, intent: QueryIntent,
+                                entries: List[TraceEntry], primary: TraceEntry,
+                                facts: Dict, text_blocks: List[str]) -> None:
+        """Whole-trace statistics when nothing narrows the query: the
+        statistical expert's trace-level miss rates, across policies."""
+        if intent.address is not None:
+            # An address-scoped question must not get the whole-trace rate
+            # confidently attributed to that address; leave the evidence gap.
+            return
+        if intent.policies and all(policy not in self.database.policies
+                                   for policy in intent.policies):
+            # The question names only policies absent from the database;
+            # publishing another policy's rate would mis-ground the answer.
+            return
+        # Workload-analysis questions already get these lines from
+        # _stage_workload_summaries; keep the facts but skip the duplicates.
+        emit_text = intent.question_type != WORKLOAD_ANALYSIS
+        per_policy = {}
+        for entry in entries:
+            if entry.workload != primary.workload:
+                continue
+            per_policy[entry.policy] = entry.statistics.miss_rate
+            if emit_text:
+                text_blocks.append(
+                    f"{entry.workload} under {entry.policy}: "
+                    f"{entry.statistics.total_accesses} accesses, "
+                    f"miss rate {entry.statistics.miss_rate * 100:.2f}%")
+        if not per_policy:
+            return
+        # primary is one of `entries` with a matching workload, so its policy
+        # is always present.
+        facts["miss_rate"] = per_policy[primary.policy]
+        facts["hit_rate"] = 1.0 - per_policy[primary.policy]
+        if len(per_policy) >= 2:
+            facts["per_policy"] = per_policy
 
     # ------------------------------------------------------------------
     # workload-level summaries (used by workload analysis questions)

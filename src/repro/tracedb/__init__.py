@@ -34,6 +34,7 @@ from repro.tracedb.database import (
     TraceDatabase,
     TraceEntry,
     build_database,
+    make_entry,
     trace_key,
     parse_trace_key,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "TraceDatabase",
     "TraceEntry",
     "build_database",
+    "make_entry",
     "trace_key",
     "parse_trace_key",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import UnknownNameError
 from repro.policies.base import get_policy
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
 from repro.sim.engine import SimulationEngine, SimulationResult
@@ -76,6 +77,26 @@ class TraceEntry:
         }
 
 
+def make_entry(result: SimulationResult,
+               workload_description: str = "") -> TraceEntry:
+    """Derive a database entry (table, statistics, metadata) from one
+    simulation result."""
+    table = records_to_table(result.records)
+    stats = CacheStatisticalExpert(table).workload_statistics()
+    workload_part = workload_description or f"workload {result.workload}"
+    description = (f"Replacement Policy: {result.policy_description} "
+                   f"Workload: {workload_part}")
+    return TraceEntry(
+        workload=result.workload,
+        policy=result.policy_name,
+        data_frame=table,
+        metadata=build_metadata_string(stats),
+        description=description,
+        statistics=stats,
+        result=result,
+    )
+
+
 class TraceDatabase:
     """Container of trace entries with the paper's ``loaded_data`` layout."""
 
@@ -91,28 +112,15 @@ class TraceDatabase:
     def add_result(self, result: SimulationResult,
                    workload_description: str = "") -> TraceEntry:
         """Convert a simulation result into a database entry and store it."""
-        table = records_to_table(result.records)
-        stats = CacheStatisticalExpert(table).workload_statistics()
-        description = self._describe(result, workload_description)
-        entry = TraceEntry(
-            workload=result.workload,
-            policy=result.policy_name,
-            data_frame=table,
-            metadata=build_metadata_string(stats),
-            description=description,
-            statistics=stats,
-            result=result,
-        )
-        self.add_entry(entry)
-        if result.binary is not None:
-            self.binaries[result.workload] = result.binary
+        entry = make_entry(result, workload_description=workload_description)
+        self.install_entry(entry)
         return entry
 
-    @staticmethod
-    def _describe(result: SimulationResult, workload_description: str) -> str:
-        workload_part = workload_description or f"workload {result.workload}"
-        return (f"Replacement Policy: {result.policy_description} "
-                f"Workload: {workload_part}")
+    def install_entry(self, entry: TraceEntry) -> None:
+        """Store a (possibly shared/memoised) entry plus its binary image."""
+        self.add_entry(entry)
+        if entry.result is not None and entry.result.binary is not None:
+            self.binaries[entry.workload] = entry.result.binary
 
     # ------------------------------------------------------------------
     # lookups
@@ -126,13 +134,13 @@ class TraceDatabase:
     def get(self, workload: str, policy: str) -> TraceEntry:
         key = trace_key(workload, policy)
         if key not in self.entries:
-            raise KeyError(
+            raise UnknownNameError(
                 f"no trace entry {key!r}; available: {sorted(self.entries)}")
         return self.entries[key]
 
     def entry(self, key: str) -> TraceEntry:
         if key not in self.entries:
-            raise KeyError(
+            raise UnknownNameError(
                 f"no trace entry {key!r}; available: {sorted(self.entries)}")
         return self.entries[key]
 

@@ -68,7 +68,9 @@ _METADATA_PATTERNS = {
     "conflict_miss_percent": r"([\d.]+)% conflict misses",
     "total_evictions": r"([\d,]+) total evictions",
     "wrong_evictions": r"([\d,]+) \(([\d.]+)%\) wrong evictions",
-    "recency_correlation": r"recency and cache misses\s+is ([\-\d.]+|undefined)",
+    # The number must not swallow the sentence-final period ("... is 0.86.").
+    "recency_correlation":
+        r"recency and cache misses\s+is (-?\d+(?:\.\d+)?|undefined)",
 }
 
 

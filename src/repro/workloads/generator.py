@@ -3,15 +3,22 @@
 from __future__ import annotations
 
 import random
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
+from repro.errors import UnknownNameError
 from repro.workloads.symbols import BinaryImage
 from repro.workloads.trace import MemoryTrace, TraceAccess
 
 #: Cache block size in bytes used when generators reason in blocks.
 BLOCK_BYTES = 64
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent hash for seeding (unlike builtin ``hash``)."""
+    return zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass
@@ -46,7 +53,10 @@ class WorkloadGenerator(ABC):
 
     def __init__(self, seed: int = 0):
         self.seed = seed
-        self._rng = random.Random((hash(self.name) & 0xFFFF) ^ seed)
+        # zlib.crc32, not hash(): str hashing is randomised per process, and
+        # traces (hence CacheMindBench ground truths) must be stable across
+        # runs, not just within one interpreter.
+        self._rng = random.Random((_stable_hash(self.name) & 0xFFFF) ^ seed)
         self.binary = self.build_binary(self._rng)
 
     # ------------------------------------------------------------------
@@ -75,7 +85,7 @@ class WorkloadGenerator(ABC):
         """Generate a trace with ``num_accesses`` memory accesses."""
         if num_accesses <= 0:
             raise ValueError("num_accesses must be positive")
-        rng = random.Random((hash(self.name) & 0xFFFF) ^ self.seed ^ 0x5EED)
+        rng = random.Random((_stable_hash(self.name) & 0xFFFF) ^ self.seed ^ 0x5EED)
         accesses = self.emit_accesses(num_accesses, rng)
         trace = MemoryTrace(
             workload=self.name,
@@ -120,7 +130,8 @@ def get_workload(name: str, seed: int = 0) -> WorkloadGenerator:
     from repro.workloads import spec as _spec  # noqa: F401
     from repro.workloads import microbench as _microbench  # noqa: F401
     if name not in _REGISTRY:
-        raise KeyError(f"unknown workload {name!r}; available: {available_workloads()}")
+        raise UnknownNameError(
+            f"unknown workload {name!r}; available: {available_workloads()}")
     return _REGISTRY[name](seed=seed)
 
 

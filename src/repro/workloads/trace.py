@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -52,6 +53,31 @@ class MemoryTrace:
                    for access in self.accesses
                    if not access.is_prefetch)
 
+    def fingerprint(self) -> int:
+        """Content hash of the access stream (cached after first call).
+
+        Memoisation keys use this instead of (workload, length, seed)
+        metadata alone, so a hand-built trace that happens to share those
+        attributes with a generated one cannot collide.  Traces are treated
+        as immutable once fingerprinted: :meth:`append` invalidates the
+        cache, but in-place edits of ``accesses`` do not — mutate a copy
+        instead.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = zlib.crc32(self.workload.encode("utf-8"))
+        for access in self.accesses:
+            # instructions_since_last feeds the timing model, so traces
+            # differing only in it must not collide (they have different IPC).
+            digest = zlib.crc32(
+                b"%d,%d,%d,%d,%d;" % (access.pc, access.address,
+                                      access.is_write, access.is_prefetch,
+                                      access.instructions_since_last),
+                digest)
+        self._fingerprint = digest
+        return digest
+
     @property
     def unique_pcs(self) -> List[int]:
         seen = set()
@@ -74,9 +100,11 @@ class MemoryTrace:
 
     def append(self, access: TraceAccess) -> None:
         self.accesses.append(access)
+        self._fingerprint = None
 
     def extend(self, accesses: Iterable[TraceAccess]) -> None:
         self.accesses.extend(accesses)
+        self._fingerprint = None
 
     def slice(self, start: int, stop: Optional[int] = None) -> "MemoryTrace":
         """Return a shallow copy containing a contiguous window of accesses."""

@@ -1,0 +1,27 @@
+"""Shared fixtures: a small, fast CacheMind session over the tiny config."""
+
+import pytest
+
+from repro import CacheMind, TINY_CONFIG
+from repro.core.pipeline import SimulationCache
+
+#: session parameters shared by the pipeline/CLI tests (small for speed).
+SESSION_KWARGS = dict(
+    workloads=["astar", "lbm"],
+    policies=["lru", "belady"],
+    num_accesses=500,
+    config=TINY_CONFIG,
+    seed=0,
+)
+
+
+@pytest.fixture()
+def fresh_cache():
+    """An isolated simulation memoiser (not the process-wide singleton)."""
+    return SimulationCache()
+
+
+@pytest.fixture()
+def session(fresh_cache):
+    """A small CacheMind session with an isolated memoiser."""
+    return CacheMind(simulation_cache=fresh_cache, **SESSION_KWARGS)

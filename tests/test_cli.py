@@ -1,0 +1,53 @@
+"""CLI subcommands exercised through repro.cli.main."""
+
+import pytest
+
+from repro.cli import main
+
+COMMON = ["--workloads", "astar", "--policies", "lru,belady",
+          "--accesses", "400", "--config", "tiny"]
+
+
+def test_simulate_list(capsys):
+    assert main(["simulate", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "astar" in out and "lru" in out
+    assert "sieve" in out and "gpt-4o" in out
+
+
+def test_simulate_runs(capsys):
+    code = main(["simulate", *COMMON, "--workload", "astar",
+                 "--policy", "lru"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "astar under lru" in out
+    assert "miss rate" in out
+
+
+def test_ask_runs(capsys):
+    code = main(["ask", *COMMON, "What is the miss rate of lru on astar?"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q: What is the miss rate of lru on astar?" in out
+    assert "A:" in out
+    assert "retriever=sieve" in out
+
+
+def test_bench_runs(capsys):
+    code = main(["bench", *COMMON])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "miss_rate per (workload, policy)" in out
+    assert "astar" in out
+    assert "*" in out
+
+
+def test_unknown_workload_fails_cleanly(capsys):
+    code = main(["simulate", *COMMON, "--workload", "not-a-workload"])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])

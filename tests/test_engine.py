@@ -1,0 +1,50 @@
+"""Simulation engine determinism and trace reproducibility."""
+
+from repro.sim.config import TINY_CONFIG
+from repro.sim.engine import SimulationEngine
+from repro.workloads.generator import generate_trace
+
+
+def _run(trace, policy_name):
+    engine = SimulationEngine(config=TINY_CONFIG)
+    return engine.run(trace, policy_name)
+
+
+def test_trace_generation_is_deterministic():
+    first = generate_trace("astar", num_accesses=500, seed=0)
+    second = generate_trace("astar", num_accesses=500, seed=0)
+    assert len(first) == len(second) == 500
+    assert [(a.pc, a.address, a.is_write) for a in first] == \
+           [(a.pc, a.address, a.is_write) for a in second]
+
+
+def test_different_seeds_differ():
+    first = generate_trace("astar", num_accesses=500, seed=0)
+    second = generate_trace("astar", num_accesses=500, seed=1)
+    assert [(a.pc, a.address) for a in first] != \
+           [(a.pc, a.address) for a in second]
+
+
+def test_engine_is_deterministic_for_same_trace_and_policy():
+    trace = generate_trace("astar", num_accesses=500, seed=0)
+    first = _run(trace, "lru")
+    second = _run(trace, "lru")
+    assert first.llc_stats.accesses == second.llc_stats.accesses
+    assert first.llc_stats.hits == second.llc_stats.hits
+    assert first.llc_stats.misses == second.llc_stats.misses
+    assert first.wrong_evictions == second.wrong_evictions
+    assert first.timing.ipc == second.timing.ipc
+    assert len(first.records) == len(second.records)
+    for a, b in zip(first.records, second.records):
+        assert a.program_counter == b.program_counter
+        assert a.memory_address == b.memory_address
+        assert a.is_hit == b.is_hit
+        assert a.evicted_address == b.evicted_address
+
+
+def test_policies_actually_differ():
+    trace = generate_trace("astar", num_accesses=500, seed=0)
+    lru = _run(trace, "lru")
+    belady = _run(trace, "belady")
+    # Belady's OPT is an oracle: it cannot do worse than LRU on misses.
+    assert belady.llc_stats.misses <= lru.llc_stats.misses

@@ -1,0 +1,25 @@
+"""Policy registry round-trips."""
+
+import pytest
+
+from repro.policies.base import ReplacementPolicy, available_policies, get_policy
+
+
+def test_available_policies_cover_the_paper_set():
+    names = available_policies()
+    for expected in ("lru", "fifo", "belady", "mlp", "parrot", "mockingjay",
+                     "hawkeye", "ship", "srrip", "brrip", "drrip", "dip"):
+        assert expected in names
+
+
+@pytest.mark.parametrize("name", available_policies())
+def test_registry_round_trip(name):
+    policy = get_policy(name)
+    assert isinstance(policy, ReplacementPolicy)
+    assert policy.name == name
+    assert policy.describe()
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(KeyError):
+        get_policy("not-a-policy")

@@ -1,0 +1,98 @@
+"""QueryParser: category classification, extraction and the wants_sets fix."""
+
+import pytest
+
+from repro.core import query as q
+from repro.core.query import QueryParser
+
+PARSER = QueryParser(known_workloads=["astar", "lbm", "mcf"],
+                     known_policies=["lru", "belady", "mlp", "parrot"])
+
+#: one question per CacheMindBench category (plus helper categories).
+CATEGORY_QUESTIONS = [
+    (q.HIT_MISS, "Does the access at PC 0x400100 to address 0x7fff12345678 "
+                 "result in a cache hit or a miss for astar under lru?"),
+    (q.MISS_RATE, "What is the miss rate of lru on astar?"),
+    (q.POLICY_COMPARISON, "Which policy has the lowest miss rate on astar?"),
+    (q.COUNT, "How many times does PC 0x400100 miss in astar?"),
+    (q.ARITHMETIC, "What is the average reuse distance for PC 0x400100 "
+                   "in astar?"),
+    (q.CONCEPT, "How does increasing associativity affect conflict misses?"),
+    (q.CODE_GENERATION, "Write code to compute the miss rate for lbm."),
+    (q.POLICY_ANALYSIS, "Why does belady outperform lru at PC 0x400100?"),
+    (q.WORKLOAD_ANALYSIS, "Which workload has the highest miss rate "
+                          "under lru?"),
+    (q.SEMANTIC_ANALYSIS, "Why does PC 0x400100 miss so often? Examine the "
+                          "assembly context."),
+    (q.SET_ANALYSIS, "Which cache sets are hot and cold in astar under lru?"),
+    (q.PC_LIST, "List all unique PCs in the astar trace."),
+]
+
+
+@pytest.mark.parametrize("expected,question", CATEGORY_QUESTIONS)
+def test_category_classification(expected, question):
+    assert PARSER.parse(question).question_type == expected
+
+
+def test_hex_extraction_classifies_pcs_and_addresses():
+    intent = PARSER.parse(
+        "Does PC 0x400100 access address 0x7fff12345678 in astar?")
+    assert intent.pcs == ["0x400100"]
+    assert intent.addresses == ["0x7fff12345678"]
+
+
+def test_workload_and_policy_extraction():
+    intent = PARSER.parse(
+        "Compare the policies lru and belady on the mcf workload.")
+    assert intent.workloads == ["mcf"]
+    assert set(intent.policies) == {"lru", "belady"}
+
+
+def test_policy_alias_resolution():
+    intent = PARSER.parse("Is Belady's optimal better than least recently "
+                          "used on astar?")
+    assert "belady" in intent.policies
+    assert "lru" in intent.policies
+
+
+# ----------------------------------------------------------------------
+# the wants_sets operator-precedence fix
+# ----------------------------------------------------------------------
+def test_superlative_word_boundaries():
+    assert PARSER.parse(
+        "Which policy gives the best hit rate on astar over at least "
+        "10000 accesses?").comparison == "best"
+    assert PARSER.parse(
+        "Is the miss rate almost unchanged across policies on astar?"
+    ).comparison is None
+    assert PARSER.parse(
+        "Which policy has the lowest miss rate on astar?").comparison == "lowest"
+    assert PARSER.parse(
+        "Which policy performs worst on astar?").comparison == "worst"
+
+
+def test_resolve_comparison_truth_table():
+    from repro.core.query import resolve_comparison
+
+    # (comparison, wants_hit_rate) -> winner has the lowest miss rate?
+    assert resolve_comparison(None, False) is True
+    assert resolve_comparison("best", True) is True
+    assert resolve_comparison("worst", False) is False
+    assert resolve_comparison("lowest", False) is True    # lowest miss rate
+    assert resolve_comparison("highest", False) is False  # highest miss rate
+    assert resolve_comparison("lowest", True) is False    # lowest hit rate
+    assert resolve_comparison("highest", True) is True    # highest hit rate
+
+
+def test_wants_sets_for_cache_set_questions():
+    assert PARSER.parse("Which cache sets are hot in astar?").wants_sets
+    assert PARSER.parse("Show the hot and cold sets of lbm.").wants_sets
+    assert PARSER.parse("What happens in cache set 12?").wants_sets
+
+
+def test_wants_sets_not_triggered_by_substrings():
+    # Pre-fix, `"set" in q and "cache set" in q or "sets" in q` made any
+    # question containing the substring "sets" (offsets, onsets, ...) match.
+    assert not PARSER.parse("What offsets are used by PC 0x400100?").wants_sets
+    assert not PARSER.parse("How do the onsets of thrashing look?").wants_sets
+    assert not PARSER.parse("What is the miss rate of lru on astar?").wants_sets

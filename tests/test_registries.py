@@ -1,0 +1,106 @@
+"""Retriever and backend plugin registries."""
+
+import pytest
+
+from repro.core.query import QueryIntent
+from repro.llm.backend import (
+    LLMBackend,
+    available_backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.llm.simulated import SimulatedLLM
+from repro.retrieval.base import (
+    Retriever,
+    available_retrievers,
+    get_retriever,
+    register_retriever,
+)
+from repro.retrieval.context import RetrievedContext
+from repro.tracedb.database import TraceDatabase
+
+
+# ----------------------------------------------------------------------
+# retrievers
+# ----------------------------------------------------------------------
+def test_builtin_retrievers_registered():
+    assert set(available_retrievers()) >= {"sieve", "ranger", "embedding"}
+
+
+def test_retriever_aliases_resolve(session):
+    retriever = get_retriever("llamaindex", session.database)
+    assert retriever.name == "embedding"
+    assert get_retriever("baseline", session.database).name == "embedding"
+
+
+def test_retriever_instance_passthrough(session):
+    instance = get_retriever("sieve", session.database)
+    assert get_retriever(instance, session.database) is instance
+
+
+def test_unknown_retriever_raises():
+    with pytest.raises(KeyError):
+        get_retriever("nope", TraceDatabase())
+
+
+def test_custom_retriever_plugs_in(session):
+    @register_retriever
+    class NullRetriever(Retriever):
+        name = "null-test"
+
+        def retrieve(self, intent: QueryIntent) -> RetrievedContext:
+            context = RetrievedContext(retriever_name=self.name,
+                                       text="nothing")
+            context.finalise_quality(intent)
+            return context
+
+    assert "null-test" in available_retrievers()
+    answer = session.ask("What is the miss rate of lru on astar?",
+                         retriever="null-test")
+    assert answer.retriever == "null-test"
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+def test_profile_names_are_registered_backends():
+    names = available_backend_names()
+    for expected in ("simulated", "gpt-4o", "gpt-4o-mini", "gpt-3.5-turbo",
+                     "o3", "finetuned-4o-mini"):
+        assert expected in names
+
+
+def test_get_backend_by_profile_name():
+    backend = get_backend("gpt-4o-mini", seed=3)
+    assert isinstance(backend, SimulatedLLM)
+    assert backend.name == "gpt-4o-mini"
+    assert backend.seed == 3
+
+
+def test_backend_instance_passthrough():
+    instance = SimulatedLLM("o3")
+    assert get_backend(instance) is instance
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError):
+        get_backend("gpt-99")
+
+
+def test_get_backend_strict_kwargs_by_default():
+    # Typos and stray kwargs must raise unless lenient resolution is asked for.
+    with pytest.raises(TypeError):
+        get_backend("gpt-4o", sed=5)
+    with pytest.raises(TypeError):
+        get_backend("gpt-4o", name="o3")
+    assert get_backend("gpt-4o", lenient=True, seed=2).seed == 2
+
+
+def test_custom_backend_factory():
+    @register_backend("test-backend")
+    def make(**kwargs):
+        return SimulatedLLM("gpt-4o", **kwargs)
+
+    backend = get_backend("test-backend", seed=7)
+    assert isinstance(backend, LLMBackend)
+    assert backend.seed == 7
