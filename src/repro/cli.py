@@ -7,14 +7,17 @@ facade (and therefore share the process-wide simulation memoiser):
   summary plus the trace-database metadata line,
 * ``ask``      -- answer one or more natural-language questions with full
   provenance,
-* ``bench``    -- build the database once and print the per-workload,
-  per-policy metric table with the winner per row.
+* ``bench``    -- build the database once (``--jobs N`` parallelises it) and
+  print the per-workload, per-policy metric table with the winner per row,
+  plus build timings and simulation-cache hit/miss counts.  ``bench --perf``
+  runs the tracked benchmark harness instead and writes ``BENCH_<rev>.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.core.pipeline import CacheMind
@@ -34,15 +37,16 @@ def _csv(value: str) -> List[str]:
 
 
 def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workloads", type=_csv,
-                        default=list(DEFAULT_WORKLOADS),
+    # Defaults are applied in _make_session (None = "not given"), so
+    # subcommands like `bench --perf` can distinguish an explicit value
+    # from an omitted flag instead of comparing against sentinel defaults.
+    parser.add_argument("--workloads", type=_csv, default=None,
                         help="comma-separated workload names "
                              f"(default: {','.join(DEFAULT_WORKLOADS)})")
-    parser.add_argument("--policies", type=_csv,
-                        default=list(DEFAULT_POLICIES),
+    parser.add_argument("--policies", type=_csv, default=None,
                         help="comma-separated policy names "
                              f"(default: {','.join(DEFAULT_POLICIES)})")
-    parser.add_argument("--accesses", type=int, default=20000,
+    parser.add_argument("--accesses", type=int, default=None,
                         help="trace length per workload (default: 20000)")
     parser.add_argument("--config", choices=sorted(CONFIGS), default="small",
                         help="hierarchy configuration (default: small)")
@@ -53,9 +57,11 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _make_session(args: argparse.Namespace, **overrides) -> CacheMind:
     options = dict(
-        workloads=args.workloads,
-        policies=args.policies,
-        num_accesses=args.accesses,
+        workloads=(args.workloads if args.workloads is not None
+                   else list(DEFAULT_WORKLOADS)),
+        policies=(args.policies if args.policies is not None
+                  else list(DEFAULT_POLICIES)),
+        num_accesses=args.accesses if args.accesses is not None else 20000,
         config=CONFIGS[args.config],
         mode=args.mode,
         seed=args.seed,
@@ -101,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_arguments(bench)
     bench.add_argument("--metric", choices=["miss_rate", "hit_rate", "ipc"],
                        default="miss_rate")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="parallel simulation workers (default: 1 = "
+                            "serial for the metric table; one per CPU for "
+                            "--perf)")
+    bench.add_argument("--perf", action="store_true",
+                       help="run the tracked perf harness (trace generation, "
+                            "full vs stats-only replay, cold/parallel/warm "
+                            "database builds) and write BENCH_<rev>.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="with --perf: shorter traces and single repeats "
+                            "(CI smoke mode)")
+    bench.add_argument("--perf-output", default=None, metavar="PATH",
+                       help="with --perf: where to write the JSON report "
+                            "(default: BENCH_<rev>.json in the cwd)")
     return parser
 
 
@@ -155,8 +175,14 @@ def _cmd_ask(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    session = _make_session(args)
+    if args.perf:
+        return _cmd_bench_perf(args)
+    jobs = args.jobs if args.jobs is not None else 1
+    session = _make_session(args, jobs=jobs)
+    cache_before = dict(session.simulation_cache.stats())
+    build_start = time.perf_counter()
     table = session.compare_policies(metric=args.metric)
+    build_seconds = time.perf_counter() - build_start
     percent = args.metric in ("miss_rate", "hit_rate")
     name_width = max(len(name) for name in table)
     print(f"{args.metric} per (workload, policy) — config '{args.config}', "
@@ -170,6 +196,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             cells.append(f"{policy}={rendered}{marker}")
         print(f"  {workload:<{name_width}}  " + "  ".join(cells))
     print("  (* = best policy per workload)")
+    cache_after = session.simulation_cache.stats()
+    simulations = len(args.workloads) * len(args.policies)
+    new_hits = cache_after["hits"] - cache_before["hits"]
+    new_misses = cache_after["misses"] - cache_before["misses"]
+    per_simulation = build_seconds / simulations if simulations else 0.0
+    print(f"  built in {build_seconds:.3f}s "
+          f"({per_simulation * 1000:.1f} ms/simulation, "
+          f"{simulations} simulations, jobs={jobs})")
+    print(f"  simulation cache: {new_hits} hits, {new_misses} misses this "
+          f"build ({cache_after['hits']} hits / {cache_after['misses']} "
+          f"misses process-wide)")
+    return 0
+
+
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from repro.perf import format_report, run_perf_suite, write_report
+    from repro.perf.harness import BENCH_POLICIES, BENCH_WORKLOADS
+
+    # The session defaults target the paper's evaluation; the perf defaults
+    # target the hot paths (fast-path LRU, a generic policy, the oracle).
+    # Explicit flags always win (None = flag omitted, see
+    # _add_session_arguments).
+    workloads = (tuple(args.workloads) if args.workloads is not None
+                 else BENCH_WORKLOADS)
+    policies = (tuple(args.policies) if args.policies is not None
+                else BENCH_POLICIES)
+    report = run_perf_suite(quick=args.quick,
+                            workloads=workloads,
+                            policies=policies,
+                            config=CONFIGS[args.config],
+                            mode=args.mode,
+                            seed=args.seed,
+                            num_accesses=args.accesses,
+                            jobs=args.jobs)
+    print(format_report(report))
+    path = write_report(report, path=args.perf_output)
+    print(f"  report written to {path}")
     return 0
 
 

@@ -55,6 +55,7 @@ from repro.llm.memory import ConversationMemory
 from repro.retrieval.base import Retriever, get_retriever, resolve_retriever_name
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
 from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.parallel import ParallelSimulator, SimulationJob
 from repro.tracedb.database import (
     DEFAULT_POLICIES,
     DEFAULT_WORKLOADS,
@@ -145,7 +146,7 @@ class SimulationCache:
         # trace.fingerprint() keys by content, so a hand-built trace sharing
         # (workload, length, seed) with a generated one cannot collide.
         return (trace.workload, policy_name, engine.config, engine.mode,
-                len(trace), trace.seed, trace.fingerprint(),
+                engine.detail, len(trace), trace.seed, trace.fingerprint(),
                 engine.max_records, engine.history_window,
                 engine.annotate_context)
 
@@ -185,6 +186,38 @@ class SimulationCache:
         with self._lock:
             self._put(self._entries, key, entry)
         return entry
+
+    def peek_entry(self, engine: SimulationEngine, trace: MemoryTrace,
+                   policy_name: str,
+                   description: str = "") -> Optional["TraceEntry"]:
+        """A memoised entry if present, else ``None`` (never simulates).
+
+        Used by parallel database builds to dispatch only the cache misses
+        to workers.  A found entry counts as a hit, mirroring
+        :meth:`get_entry`.
+        """
+        key = self._key(engine, trace, policy_name) + (description,)
+        with self._lock:
+            entry = self._get(self._entries, key)
+            if entry is not None:
+                self.hits += 1
+        return entry
+
+    def put_entry(self, engine: SimulationEngine, trace: MemoryTrace,
+                  policy_name: str, description: str,
+                  entry: "TraceEntry") -> None:
+        """Install an externally computed entry (e.g. from a worker process).
+
+        Counts as one miss: the simulation genuinely ran, just not through
+        :meth:`get_or_run`.  The embedded result is memoised too, so later
+        :meth:`get_or_run` calls for the same key are hits.
+        """
+        key = self._key(engine, trace, policy_name)
+        with self._lock:
+            if entry.result is not None:
+                self._put(self._results, key, entry.result)
+            self._put(self._entries, key + (description,), entry)
+            self.misses += 1
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -226,7 +259,9 @@ class CacheMind:
                  prompting: str = "zero_shot",
                  retriever: Union[str, Retriever, None] = None,
                  max_records: Optional[int] = None,
-                 simulation_cache: Optional[SimulationCache] = None):
+                 simulation_cache: Optional[SimulationCache] = None,
+                 jobs: int = 1,
+                 executor: str = "auto"):
         if not workloads:
             raise ValueError("CacheMind needs at least one workload")
         if not policies:
@@ -239,6 +274,10 @@ class CacheMind:
         self.seed = seed
         self.prompting = prompting
         self.max_records = max_records
+        # jobs > 1 fans database-build simulations out over worker processes
+        # (see _build_database); only cache misses are dispatched.
+        self.jobs = max(1, int(jobs))
+        self.executor = executor
         self.simulation_cache = (simulation_cache if simulation_cache is not None
                                  else SIMULATION_CACHE)
         # get_backend passes instances through; lenient=True drops the
@@ -273,12 +312,42 @@ class CacheMind:
         database = TraceDatabase(config=self.config)
         engine = SimulationEngine(config=self.config, mode=self.mode,
                                   max_records=self.max_records)
+        pending: List[Tuple[MemoryTrace, str, str]] = []
         for workload in self.workloads:
             trace, description = self.simulation_cache.get_trace(
                 workload, self.num_accesses, self.seed)
             for policy in self.policies:
-                entry = self.simulation_cache.get_entry(
-                    engine, trace, policy, description=description)
+                if self.jobs > 1:
+                    entry = self.simulation_cache.peek_entry(
+                        engine, trace, policy, description=description)
+                    if entry is None:
+                        pending.append((trace, description, policy))
+                        continue
+                else:
+                    entry = self.simulation_cache.get_entry(
+                        engine, trace, policy, description=description)
+                database.install_entry(entry)
+        if pending:
+            # Fan only the cache misses out to workers, then install the
+            # returned entries into the shared memoiser: parallelism and
+            # memoisation compose (a second session re-simulates nothing).
+            simulator = ParallelSimulator(
+                jobs=self.jobs, executor=self.executor, config=self.config,
+                mode=self.mode, max_records=self.max_records)
+            # trace=None: workers regenerate the identical trace from
+            # (workload, num_accesses, seed) — crc32-seeded generators are
+            # process-independent — which keeps the pickled payload to a few
+            # strings per job instead of one full trace copy per policy.
+            simulation_jobs = [
+                SimulationJob(workload=trace.workload, policy=policy,
+                              num_accesses=self.num_accesses, seed=self.seed,
+                              description=description)
+                for trace, description, policy in pending
+            ]
+            for (trace, description, policy), entry in zip(
+                    pending, simulator.run_entries(simulation_jobs)):
+                self.simulation_cache.put_entry(engine, trace, policy,
+                                                description, entry)
                 database.install_entry(entry)
         self.database_builds += 1
         return database

@@ -1,0 +1,24 @@
+"""Tracked performance benchmarks for the simulation hot path.
+
+``python -m repro bench --perf`` runs :func:`run_perf_suite` and writes a
+``BENCH_<rev>.json`` report next to the working directory, so the perf
+trajectory of the simulation core is tracked revision by revision.
+"""
+
+from repro.perf.harness import (
+    BenchTiming,
+    current_revision,
+    default_report_path,
+    format_report,
+    run_perf_suite,
+    write_report,
+)
+
+__all__ = [
+    "BenchTiming",
+    "current_revision",
+    "default_report_path",
+    "format_report",
+    "run_perf_suite",
+    "write_report",
+]

@@ -1,0 +1,250 @@
+"""Benchmark harness timing the simulation core's hot paths.
+
+The suite times, on the bundled workloads:
+
+* trace generation,
+* full-detail vs stats-only replay (per policy, with derived speedups),
+* cold, parallel and warm (memoised) trace-database builds,
+
+and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
+revisions, so consecutive reports are directly comparable.  ``--quick``
+shrinks trace lengths and repeat counts for CI smoke runs; the numbers are
+noisier but the schema is identical.
+
+Timings use ``time.perf_counter`` and report the best of ``repeats`` runs
+(the standard way to suppress scheduler noise in micro-benchmarks); all
+individual repeats are kept in the report for variance inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.config import HierarchyConfig, SMALL_CONFIG
+from repro.sim.engine import SimulationEngine
+from repro.sim.parallel import default_jobs
+from repro.workloads.generator import generate_trace
+
+#: Bump when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default measurement matrix: bundled workloads x a policy spread covering
+#: the LRU fast path, a generic (stateful) policy and the future-aware oracle.
+BENCH_WORKLOADS = ("astar", "lbm", "mcf")
+BENCH_POLICIES = ("lru", "srrip", "belady")
+
+
+@dataclass
+class BenchTiming:
+    """One named measurement: best-of-``repeats`` wall-clock seconds."""
+
+    name: str
+    seconds: float
+    repeats: List[float] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def current_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def default_report_path(revision: Optional[str] = None) -> str:
+    """``BENCH_<rev>.json`` in the current working directory."""
+    return f"BENCH_{revision or current_revision()}.json"
+
+
+def _time(function: Callable[[], object], repeats: int) -> List[float]:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _measure(name: str, function: Callable[[], object], repeats: int,
+             **meta) -> BenchTiming:
+    times = _time(function, repeats)
+    return BenchTiming(name=name, seconds=min(times), repeats=times,
+                       meta=dict(meta))
+
+
+def run_perf_suite(quick: bool = False,
+                   workloads: Sequence[str] = BENCH_WORKLOADS,
+                   policies: Sequence[str] = BENCH_POLICIES,
+                   config: HierarchyConfig = SMALL_CONFIG,
+                   mode: str = "llc_only",
+                   num_accesses: Optional[int] = None,
+                   repeats: Optional[int] = None,
+                   jobs: Optional[int] = None,
+                   seed: int = 0) -> Dict[str, object]:
+    """Run the benchmark suite and return the report dictionary."""
+    # Imported here, not at module top: the pipeline imports the sim layer,
+    # and the perf package must stay importable from anywhere below it.
+    from repro.core.pipeline import CacheMind, SimulationCache
+
+    if num_accesses is None:
+        num_accesses = 4000 if quick else 20000
+    if repeats is None:
+        repeats = 1 if quick else 3
+    if jobs is None:
+        jobs = default_jobs()
+
+    timings: List[BenchTiming] = []
+    traces = {}
+
+    # --- trace generation ------------------------------------------------
+    for workload in workloads:
+        timing = _measure(
+            f"trace_generation/{workload}",
+            lambda workload=workload: generate_trace(workload, num_accesses, seed),
+            repeats, workload=workload, num_accesses=num_accesses)
+        timings.append(timing)
+        traces[workload] = generate_trace(workload, num_accesses, seed)
+
+    # --- full vs stats-only replay ---------------------------------------
+    replay_speedups: Dict[str, float] = {}
+    for workload in workloads:
+        trace = traces[workload]
+        for policy in policies:
+            full = _measure(
+                f"replay_full/{workload}/{policy}",
+                lambda trace=trace, policy=policy: SimulationEngine(
+                    config=config, mode=mode).run(trace, policy),
+                repeats, workload=workload, policy=policy, detail="full")
+            stats = _measure(
+                f"replay_stats/{workload}/{policy}",
+                lambda trace=trace, policy=policy: SimulationEngine(
+                    config=config, mode=mode, detail="stats").run(trace, policy),
+                repeats, workload=workload, policy=policy, detail="stats")
+            timings.extend([full, stats])
+            if stats.seconds > 0:
+                replay_speedups[f"{workload}/{policy}"] = (
+                    full.seconds / stats.seconds)
+
+    # --- database builds: cold serial, parallel, warm (memoised) ---------
+    session_kwargs = dict(workloads=list(workloads), policies=list(policies),
+                          num_accesses=num_accesses, config=config, mode=mode,
+                          seed=seed)
+
+    def cold_build():
+        cache = SimulationCache()
+        CacheMind(simulation_cache=cache, **session_kwargs)._build_database()
+
+    cold = _measure("database_build/cold_serial", cold_build, repeats,
+                    pairs=len(workloads) * len(policies))
+    timings.append(cold)
+
+    parallel = None
+    if jobs > 1:
+        def parallel_build():
+            cache = SimulationCache()
+            session = CacheMind(simulation_cache=cache, jobs=jobs,
+                                **session_kwargs)
+            session._build_database()
+            return session
+
+        # One untimed warm-up first: process pools pay a one-off interpreter
+        # spawn cost that would otherwise be attributed to the build.
+        parallel_times = _time(parallel_build, repeats + 1)[1:]
+        parallel = BenchTiming(name=f"database_build/parallel_jobs{jobs}",
+                               seconds=min(parallel_times),
+                               repeats=parallel_times,
+                               meta={"jobs": jobs})
+        timings.append(parallel)
+
+    warm_cache = SimulationCache()
+    CacheMind(simulation_cache=warm_cache, **session_kwargs)._build_database()
+    warm = _measure(
+        "database_build/warm_memoised",
+        lambda: CacheMind(simulation_cache=warm_cache,
+                          **session_kwargs)._build_database(),
+        repeats, cache_stats=dict(warm_cache.stats()))
+    timings.append(warm)
+
+    # --- derived summary -------------------------------------------------
+    speedup_values = sorted(replay_speedups.values())
+    derived: Dict[str, object] = {
+        "stats_replay_speedup": replay_speedups,
+        "stats_replay_speedup_min": speedup_values[0] if speedup_values else None,
+        "stats_replay_speedup_median": (
+            speedup_values[len(speedup_values) // 2] if speedup_values else None),
+        "warm_build_speedup": (cold.seconds / warm.seconds
+                               if warm.seconds > 0 else None),
+    }
+    if parallel is not None:
+        derived["parallel_build_speedup"] = (
+            cold.seconds / parallel.seconds if parallel.seconds > 0 else None)
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "revision": current_revision(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "params": {
+            "workloads": list(workloads),
+            "policies": list(policies),
+            "config": config.name,
+            "mode": mode,
+            "num_accesses": num_accesses,
+            "repeats": repeats,
+            "jobs": jobs,
+            "seed": seed,
+        },
+        "timings": [asdict(timing) for timing in timings],
+        "derived": derived,
+    }
+
+
+def write_report(report: Dict[str, object],
+                 path: Optional[str] = None) -> str:
+    """Write the report as JSON; returns the path written."""
+    if path is None:
+        path = default_report_path(str(report.get("revision") or "unknown"))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of one report (printed by the CLI)."""
+    lines = [f"perf suite @ {report['revision']} "
+             f"(python {report['python']}, {report['params']['config']} config, "
+             f"{report['params']['num_accesses']} accesses, "
+             f"repeats={report['params']['repeats']})"]
+    for timing in report["timings"]:
+        lines.append(f"  {timing['name']:<42} {timing['seconds'] * 1000:9.2f} ms")
+    derived = report["derived"]
+    if derived.get("stats_replay_speedup_min") is not None:
+        lines.append(
+            f"  stats-only replay speedup: "
+            f"min {derived['stats_replay_speedup_min']:.1f}x, "
+            f"median {derived['stats_replay_speedup_median']:.1f}x")
+    if derived.get("parallel_build_speedup") is not None:
+        lines.append(
+            f"  parallel build speedup over cold serial: "
+            f"{derived['parallel_build_speedup']:.2f}x "
+            f"({report['params']['jobs']} jobs)")
+    if derived.get("warm_build_speedup") is not None:
+        lines.append(
+            f"  warm (memoised) build speedup: "
+            f"{derived['warm_build_speedup']:.0f}x")
+    return "\n".join(lines)

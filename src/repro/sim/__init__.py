@@ -19,10 +19,19 @@ from repro.sim.config import (
     SMALL_CONFIG,
     TINY_CONFIG,
 )
-from repro.sim.cache import AccessOutcome, Cache, CacheLine, CacheStats
+from repro.sim.cache import (
+    AccessOutcome,
+    Cache,
+    CacheLine,
+    CacheStats,
+    DETAIL_FULL,
+    DETAIL_LEVELS,
+    DETAIL_STATS,
+)
 from repro.sim.cpu import CPUModel, TimingResult
 from repro.sim.hierarchy import CacheHierarchy, HierarchyResult
 from repro.sim.engine import SimulationEngine, SimulationResult, simulate
+from repro.sim.parallel import ParallelSimulator, SimulationJob, default_jobs
 from repro.sim.prefetch import NextLinePrefetcher, StridePrefetcher
 
 __all__ = [
@@ -37,6 +46,9 @@ __all__ = [
     "Cache",
     "CacheLine",
     "CacheStats",
+    "DETAIL_FULL",
+    "DETAIL_LEVELS",
+    "DETAIL_STATS",
     "CPUModel",
     "TimingResult",
     "CacheHierarchy",
@@ -44,6 +56,9 @@ __all__ = [
     "SimulationEngine",
     "SimulationResult",
     "simulate",
+    "ParallelSimulator",
+    "SimulationJob",
+    "default_jobs",
     "NextLinePrefetcher",
     "StridePrefetcher",
 ]

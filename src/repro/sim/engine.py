@@ -15,16 +15,34 @@ Two modes are supported:
   first; only their misses reach the LLC.  The filtered stream is identical
   for every LLC policy, so oracle next-use information can still be
   precomputed.  This mode feeds the IPC/speedup use cases.
+
+Two detail levels are supported:
+
+* ``"full"`` (default) — one :class:`AccessRecord` per LLC access, with
+  resident-line and eviction-score snapshots, source context and the
+  wrong-eviction count.  This is what the trace database consumes.
+* ``"stats"`` — aggregate statistics and timing only.  The replay skips
+  record construction, context annotation, per-access snapshot lists and —
+  unless the policy declares ``requires_future`` — the whole reuse-distance
+  precomputation, and runs a single fused simulate+timing loop.  Hit/miss/
+  eviction/bypass counts, per-set rates and IPC are identical to a full run.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.policies.base import NEVER, ReplacementPolicy, get_policy
-from repro.sim.cache import Cache, CacheStats
+from repro.sim.cache import (
+    Cache,
+    CacheStats,
+    DETAIL_FULL,
+    DETAIL_LEVELS,
+    DETAIL_STATS,
+)
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
 from repro.sim.cpu import (
     CPUModel,
@@ -48,11 +66,11 @@ class SimulationResult:
     policy_description: str
     config: HierarchyConfig
     mode: str
+    detail: str = DETAIL_FULL
     records: List[AccessRecord] = field(default_factory=list)
     llc_stats: CacheStats = field(default_factory=CacheStats)
     level_stats: Dict[str, CacheStats] = field(default_factory=dict)
     timing: TimingResult = field(default_factory=TimingResult)
-    set_hit_rates: Dict[int, float] = field(default_factory=dict)
     wrong_evictions: int = 0
     binary: Optional[object] = field(default=None, repr=False)
 
@@ -72,6 +90,15 @@ class SimulationResult:
     def ipc(self) -> float:
         return self.timing.ipc
 
+    @cached_property
+    def set_hit_rates(self) -> Dict[int, float]:
+        """Per-set hit rates, derived lazily from the LLC counters.
+
+        Computed (and cached) on first read, so stats-only replay does no
+        per-set post-processing unless a caller actually asks for it.
+        """
+        return self.llc_stats.set_hit_rates()
+
     def summary(self) -> str:
         return (f"{self.workload} under {self.policy_name}: "
                 f"{self.llc_stats.accesses} LLC accesses, "
@@ -85,14 +112,18 @@ class SimulationEngine:
     def __init__(self, config: HierarchyConfig = SMALL_CONFIG,
                  mode: str = "llc_only", history_window: int = 8,
                  annotate_context: bool = True,
-                 max_records: Optional[int] = None):
+                 max_records: Optional[int] = None,
+                 detail: str = DETAIL_FULL):
         if mode not in ("llc_only", "hierarchy"):
             raise ValueError("mode must be 'llc_only' or 'hierarchy'")
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(f"detail must be one of {DETAIL_LEVELS}")
         self.config = config
         self.mode = mode
         self.history_window = history_window
         self.annotate_context = annotate_context
         self.max_records = max_records
+        self.detail = detail
 
     # ------------------------------------------------------------------
     # public API
@@ -105,6 +136,8 @@ class SimulationEngine:
         """
         if isinstance(policy, str):
             policy = get_policy(policy)
+        if self.detail == DETAIL_STATS:
+            return self._run_stats(trace, policy)
         llc_stream, upper_levels = self._build_llc_stream(trace)
         next_use, prev_use = self._compute_reuse(llc_stream)
         return self._replay_llc(trace, policy, llc_stream, upper_levels,
@@ -124,17 +157,21 @@ class SimulationEngine:
         if self.mode == "llc_only":
             return [(index, access) for index, access in enumerate(trace.accesses)], {}
 
-        l1d = Cache(self.config.l1d, LRUPolicy())
-        l2 = Cache(self.config.l2, LRUPolicy())
+        # The upper levels are always LRU, so the stats-only fast path is
+        # behaviourally identical and filtering needs no outcome details.
+        l1d = Cache(self.config.l1d, LRUPolicy(), detail=DETAIL_STATS)
+        l2 = Cache(self.config.l2, LRUPolicy(), detail=DETAIL_STATS)
+        l1_access = l1d.access_fast
+        l2_access = l2.access_fast
         llc_stream: List[Tuple[int, TraceAccess]] = []
         upper_levels: Dict[int, str] = {}
         for index, access in enumerate(trace.accesses):
-            if l1d.access(access.pc, access.address, access.is_write, index,
-                          is_prefetch=access.is_prefetch).hit:
+            if l1_access(access.pc, access.address, access.is_write, index,
+                         is_prefetch=access.is_prefetch):
                 upper_levels[index] = LEVEL_L1
                 continue
-            if l2.access(access.pc, access.address, access.is_write, index,
-                         is_prefetch=access.is_prefetch).hit:
+            if l2_access(access.pc, access.address, access.is_write, index,
+                         is_prefetch=access.is_prefetch):
                 upper_levels[index] = LEVEL_L2
                 continue
             llc_stream.append((index, access))
@@ -153,10 +190,8 @@ class SimulationEngine:
         """
         block_bytes = self.config.llc.block_bytes
         positions_by_block: Dict[int, List[int]] = {}
-        blocks: List[int] = []
         for position, (_index, access) in enumerate(llc_stream):
             block = access.address // block_bytes
-            blocks.append(block)
             positions_by_block.setdefault(block, []).append(position)
 
         next_use = [NEVER] * len(llc_stream)
@@ -267,15 +302,166 @@ class SimulationEngine:
             policy_description=policy.describe(),
             config=self.config,
             mode=self.mode,
+            detail=self.detail,
             records=records,
             llc_stats=llc.stats,
             level_stats={"llc": llc.stats},
             timing=cpu.finish(),
-            set_hit_rates=llc.set_hit_rates(),
             wrong_evictions=wrong_evictions,
             binary=binary,
         )
         return result
+
+    # ------------------------------------------------------------------
+    # stats-only replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_use_sequence(accesses: Sequence[TraceAccess],
+                           block_bytes: int) -> List[int]:
+        """Per-position next-use indices over one access sequence.
+
+        Single reverse pass — cheaper than the full per-block position lists
+        the record-building path needs, and only computed at all when the
+        policy declares ``requires_future``.
+        """
+        next_use = [NEVER] * len(accesses)
+        next_seen: Dict[int, int] = {}
+        for position in range(len(accesses) - 1, -1, -1):
+            block = accesses[position].address // block_bytes
+            next_use[position] = next_seen.get(block, NEVER)
+            next_seen[block] = position
+        return next_use
+
+    def _run_stats(self, trace: MemoryTrace,
+                   policy: ReplacementPolicy) -> SimulationResult:
+        """Aggregate-only replay: no records, snapshots or context lookups."""
+        config = self.config
+        llc = Cache(config.llc, policy, classify_misses=True,
+                    detail=DETAIL_STATS)
+        requires_future = bool(getattr(policy, "requires_future", False))
+        if self.mode == "llc_only":
+            llc_stats, timing = self._replay_stats_llc_only(
+                trace, llc, requires_future)
+        else:
+            llc_stats, timing = self._replay_stats_hierarchy(
+                trace, llc, requires_future)
+        return SimulationResult(
+            workload=trace.workload,
+            policy_name=getattr(policy, "name", type(policy).__name__),
+            policy_description=policy.describe(),
+            config=config,
+            mode=self.mode,
+            detail=self.detail,
+            llc_stats=llc_stats,
+            level_stats={"llc": llc_stats},
+            timing=timing,
+            binary=trace.binary,
+        )
+
+    def _replay_stats_llc_only(self, trace: MemoryTrace, llc: Cache,
+                               requires_future: bool
+                               ) -> Tuple[CacheStats, TimingResult]:
+        """Fused simulate+timing loop over the raw access list.
+
+        Accumulates the analytic timing model inline in the same order as
+        :class:`CPUModel`, so IPC/cycles match the full-detail path exactly.
+        """
+        config = self.config
+        accesses = trace.accesses
+        next_use = (self._next_use_sequence(accesses, config.llc.block_bytes)
+                    if requires_future else None)
+
+        # Hoisted loop state: one bound method, precomputed stall constants.
+        access_fast = llc.access_fast
+        retire_width = config.core.retire_width
+        overlap = 1.0 - config.core.overlap_factor
+        to_llc = float(config.l1d.latency_cycles + config.l2.latency_cycles
+                       + config.llc.latency_cycles)
+        to_dram = to_llc + config.dram.access_latency_cycles
+        llc_stall = to_llc * overlap
+        dram_stall = to_dram * overlap
+
+        instructions = 0
+        base_cycles = 0.0
+        stall_cycles = 0.0
+        llc_stall_total = 0.0
+        dram_stall_total = 0.0
+        llc_count = dram_count = 0
+        llc_stall_events = dram_stall_events = 0
+
+        for position, access in enumerate(accesses):
+            is_prefetch = access.is_prefetch
+            is_write = access.is_write
+            if next_use is None:
+                hit = access_fast(access.pc, access.address, is_write,
+                                  position, NEVER, is_prefetch)
+            else:
+                hit = access_fast(access.pc, access.address, is_write,
+                                  position, next_use[position], is_prefetch)
+            if not is_prefetch:
+                retired = access.instructions_since_last + 1
+                instructions += retired
+                base_cycles += retired / retire_width
+            if hit:
+                llc_count += 1
+                if not (is_write or is_prefetch):
+                    stall_cycles += llc_stall
+                    llc_stall_total += llc_stall
+                    llc_stall_events += 1
+            else:
+                dram_count += 1
+                if not (is_write or is_prefetch):
+                    stall_cycles += dram_stall
+                    dram_stall_total += dram_stall
+                    dram_stall_events += 1
+
+        timing = TimingResult(
+            instructions=instructions,
+            base_cycles=base_cycles,
+            stall_cycles=stall_cycles,
+        )
+        if llc_count:
+            timing.accesses_by_level[LEVEL_LLC] = llc_count
+        if dram_count:
+            timing.accesses_by_level[LEVEL_DRAM] = dram_count
+        if llc_stall_events:
+            timing.stalls_by_level[LEVEL_LLC] = llc_stall_total
+        if dram_stall_events:
+            timing.stalls_by_level[LEVEL_DRAM] = dram_stall_total
+        return llc.stats, timing
+
+    def _replay_stats_hierarchy(self, trace: MemoryTrace, llc: Cache,
+                                requires_future: bool
+                                ) -> Tuple[CacheStats, TimingResult]:
+        """Stats-only hierarchy replay: filter, replay LLC, one timing walk."""
+        llc_stream, upper_levels = self._build_llc_stream(trace)
+        block_bytes = self.config.llc.block_bytes
+        next_use = (self._next_use_sequence(
+            [access for _index, access in llc_stream], block_bytes)
+            if requires_future else None)
+
+        access_fast = llc.access_fast
+        llc_hits: List[bool] = []
+        for position, (_trace_index, access) in enumerate(llc_stream):
+            llc_hits.append(access_fast(
+                access.pc, access.address, access.is_write, position,
+                NEVER if next_use is None else next_use[position],
+                access.is_prefetch))
+
+        # The filtered stream is sparse relative to the trace, so the timing
+        # walk reuses CPUModel rather than a fused loop (identical numbers).
+        cpu = CPUModel(self.config)
+        llc_position = 0
+        for trace_index, access in enumerate(trace.accesses):
+            if not access.is_prefetch:
+                cpu.retire(access.instructions_since_last + 1)
+            level = upper_levels.get(trace_index)
+            if level is None:
+                level = LEVEL_LLC if llc_hits[llc_position] else LEVEL_DRAM
+                llc_position += 1
+            cpu.memory_access(level, is_write=access.is_write,
+                              is_prefetch=access.is_prefetch)
+        return llc.stats, cpu.finish()
 
 
 def simulate(trace: MemoryTrace, policy, config: HierarchyConfig = SMALL_CONFIG,

@@ -1,0 +1,155 @@
+"""Parallel fan-out of (workload, policy) simulations.
+
+:class:`ParallelSimulator` runs many independent simulations over a
+``concurrent.futures`` executor — a process pool by default, with automatic
+fallback to threads and then to serial execution when process pools are
+unavailable (restricted environments, unpicklable payloads, missing ``fork``
+support).  Results come back in submission order, so a parallel build is
+byte-identical to a serial one: workloads regenerate deterministically in the
+workers (crc32-seeded generators) and every policy is deterministic given its
+seed.
+
+The simulator is deliberately cache-agnostic: callers that memoise (the
+:class:`~repro.core.pipeline.SimulationCache`) dispatch only their cache
+misses here and install the returned results/entries back into the cache, so
+memoisation and parallelism compose.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.config import HierarchyConfig, SMALL_CONFIG
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.workloads.generator import get_workload
+from repro.workloads.trace import MemoryTrace
+
+#: Executor strategies accepted by :class:`ParallelSimulator`.
+EXECUTORS = ("auto", "process", "thread", "serial")
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given (one per CPU)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class SimulationJob:
+    """One (workload, policy) simulation request.
+
+    ``trace`` may carry a pre-generated trace (pickled to workers); when it
+    is ``None`` the worker regenerates the trace from ``(workload,
+    num_accesses, seed)``, which is deterministic and keeps payloads small.
+    """
+
+    workload: str
+    policy: str
+    num_accesses: int = 20000
+    seed: int = 0
+    description: str = ""
+    trace: Optional[MemoryTrace] = None
+
+
+def _execute_job(payload: tuple):
+    """Top-level worker (must be importable for process pools)."""
+    (job, config, mode, max_records, detail, want_entry) = payload
+    trace = job.trace
+    description = job.description
+    if trace is None:
+        generator = get_workload(job.workload, seed=job.seed)
+        trace = generator.generate(job.num_accesses)
+        if not description:
+            description = generator.description
+    engine = SimulationEngine(config=config, mode=mode,
+                              max_records=max_records, detail=detail)
+    result = engine.run(trace, job.policy)
+    if want_entry:
+        # Imported lazily: repro.tracedb.database imports this module.
+        from repro.tracedb.database import make_entry
+        return make_entry(result, workload_description=description)
+    return result
+
+
+class ParallelSimulator:
+    """Fan (workload, policy) simulations out over an executor.
+
+    ``executor`` is one of ``"auto"`` (process pool, falling back to threads
+    then serial), ``"process"``, ``"thread"`` or ``"serial"``.  The executor
+    actually used for the last call is recorded in :attr:`last_executor`.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, executor: str = "auto",
+                 config: HierarchyConfig = SMALL_CONFIG,
+                 mode: str = "llc_only",
+                 max_records: Optional[int] = None,
+                 detail: str = "full"):
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}")
+        self.jobs = jobs if jobs is not None and jobs > 0 else default_jobs()
+        self.executor = executor
+        self.config = config
+        self.mode = mode
+        self.max_records = max_records
+        self.detail = detail
+        self.last_executor: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def run_results(self, jobs: Sequence[SimulationJob]) -> List[SimulationResult]:
+        """Simulate every job; results in submission order."""
+        return self._map(jobs, want_entry=False)
+
+    def run_entries(self, jobs: Sequence[SimulationJob]) -> list:
+        """Simulate every job and derive trace-database entries in-worker.
+
+        Building the entry (table + statistics + metadata) in the worker
+        parallelises the expensive table materialisation too, not just the
+        replay.  Returns :class:`~repro.tracedb.database.TraceEntry` objects
+        in submission order.
+        """
+        return self._map(jobs, want_entry=True)
+
+    # ------------------------------------------------------------------
+    def _payloads(self, jobs: Sequence[SimulationJob],
+                  want_entry: bool) -> List[tuple]:
+        return [(job, self.config, self.mode, self.max_records, self.detail,
+                 want_entry) for job in jobs]
+
+    def _map(self, jobs: Sequence[SimulationJob], want_entry: bool) -> list:
+        payloads = self._payloads(jobs, want_entry)
+        workers = min(self.jobs, len(payloads)) or 1
+        if workers <= 1 or self.executor == "serial":
+            self.last_executor = "serial"
+            return [_execute_job(payload) for payload in payloads]
+
+        attempts: Tuple[str, ...]
+        if self.executor == "auto":
+            attempts = ("process", "thread")
+        else:
+            attempts = (self.executor,)
+        for kind in attempts:
+            pool_cls = (ProcessPoolExecutor if kind == "process"
+                        else ThreadPoolExecutor)
+            try:
+                with pool_cls(max_workers=workers) as pool:
+                    results = list(pool.map(_execute_job, payloads))
+                self.last_executor = kind
+                return results
+            except (BrokenExecutor, OSError, pickle.PicklingError):
+                # Executor infrastructure failure (sandboxed environment
+                # forbidding process spawn, unpicklable payload, killed
+                # worker).  Genuine simulation errors raise other exception
+                # types and propagate to the caller.  Only "auto" may
+                # degrade: an explicitly requested executor must either run
+                # or fail loudly.
+                if self.executor != "auto":
+                    raise
+        self.last_executor = "serial"
+        return [_execute_job(payload) for payload in payloads]

@@ -23,6 +23,7 @@ from repro.errors import UnknownNameError
 from repro.policies.base import get_policy
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
 from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.parallel import ParallelSimulator, SimulationJob
 from repro.tracedb.metadata import build_metadata_string
 from repro.tracedb.schema import records_to_table
 from repro.tracedb.stats import CacheStatisticalExpert, WorkloadStatistics
@@ -171,6 +172,30 @@ class TraceDatabase:
         return self.binaries.get(workload)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, workloads: Sequence[str] = DEFAULT_WORKLOADS,
+              policies: Sequence[str] = DEFAULT_POLICIES,
+              num_accesses: int = 20000,
+              config: HierarchyConfig = SMALL_CONFIG,
+              mode: str = "llc_only",
+              seed: int = 0,
+              traces: Optional[Dict[str, MemoryTrace]] = None,
+              max_records: Optional[int] = None,
+              jobs: int = 1,
+              executor: str = "auto") -> "TraceDatabase":
+        """Build a database, optionally in parallel (``jobs > 1``).
+
+        Parallel builds fan the (workload, policy) pairs out over a
+        :class:`~repro.sim.parallel.ParallelSimulator` and produce entries
+        identical to a serial build.
+        """
+        return build_database(workloads=workloads, policies=policies,
+                              num_accesses=num_accesses, config=config,
+                              mode=mode, seed=seed, traces=traces,
+                              max_records=max_records, jobs=jobs,
+                              executor=executor)
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         lines = [f"trace database: {len(self.entries)} entries "
                  f"({len(self.workloads)} workloads x {len(self.policies)} policies)"]
@@ -189,14 +214,37 @@ def build_database(workloads: Sequence[str] = DEFAULT_WORKLOADS,
                    mode: str = "llc_only",
                    seed: int = 0,
                    traces: Optional[Dict[str, MemoryTrace]] = None,
-                   max_records: Optional[int] = None) -> TraceDatabase:
+                   max_records: Optional[int] = None,
+                   jobs: int = 1,
+                   executor: str = "auto") -> TraceDatabase:
     """Simulate every (workload, policy) pair and build the database.
 
     ``traces`` may supply pre-generated traces keyed by workload name (useful
     for the microbenchmark use cases); missing workloads are generated with
-    their default generator.
+    their default generator.  ``jobs > 1`` fans the pairs out over a process
+    pool (falling back to threads/serial); because traces and policies are
+    deterministic, the parallel build is identical to the serial one.
     """
     database = TraceDatabase(config=config)
+    if jobs > 1:
+        simulation_jobs = [
+            SimulationJob(workload=workload_name, policy=policy_name,
+                          num_accesses=num_accesses, seed=seed,
+                          description=(traces[workload_name].description
+                                       if traces is not None
+                                       and workload_name in traces else ""),
+                          trace=(traces.get(workload_name)
+                                 if traces is not None else None))
+            for workload_name in workloads
+            for policy_name in policies
+        ]
+        simulator = ParallelSimulator(jobs=jobs, executor=executor,
+                                      config=config, mode=mode,
+                                      max_records=max_records)
+        for entry in simulator.run_entries(simulation_jobs):
+            database.install_entry(entry)
+        return database
+
     engine = SimulationEngine(config=config, mode=mode, max_records=max_records)
     for workload_name in workloads:
         if traces is not None and workload_name in traces:

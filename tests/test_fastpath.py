@@ -1,0 +1,106 @@
+"""Stats-only replay equivalence with the full-detail path.
+
+The fast path may skip snapshots and bookkeeping, but it must make exactly
+the same caching decisions: identical hit/miss/eviction/bypass counts, miss
+taxonomy, per-set rates and timing for every registered policy on every
+bundled workload.
+"""
+
+import pytest
+
+from repro.policies.base import available_policies
+from repro.sim.cache import Cache, CacheStats
+from repro.sim.config import TINY_CONFIG
+from repro.sim.engine import SimulationEngine
+from repro.workloads.generator import available_workloads, generate_trace
+
+NUM_ACCESSES = 300
+
+_TRACES = {}
+
+
+def _trace(workload):
+    if workload not in _TRACES:
+        _TRACES[workload] = generate_trace(workload, NUM_ACCESSES, seed=0)
+    return _TRACES[workload]
+
+
+def _counters(stats):
+    return (stats.accesses, stats.hits, stats.misses, stats.evictions,
+            stats.bypasses, stats.compulsory_misses, stats.capacity_misses,
+            stats.conflict_misses)
+
+
+@pytest.mark.parametrize("policy", available_policies())
+@pytest.mark.parametrize("workload", available_workloads())
+def test_stats_replay_matches_full_replay(workload, policy):
+    trace = _trace(workload)
+    full = SimulationEngine(config=TINY_CONFIG).run(trace, policy)
+    stats = SimulationEngine(config=TINY_CONFIG, detail="stats").run(trace, policy)
+    assert _counters(full.llc_stats) == _counters(stats.llc_stats)
+    assert full.set_hit_rates == stats.set_hit_rates
+    assert full.timing.instructions == stats.timing.instructions
+    assert full.timing.cycles == stats.timing.cycles
+    assert full.timing.ipc == stats.timing.ipc
+    assert full.timing.accesses_by_level == stats.timing.accesses_by_level
+    assert full.timing.stalls_by_level == stats.timing.stalls_by_level
+
+
+@pytest.mark.parametrize("policy", ["lru", "ship", "belady"])
+def test_stats_replay_matches_full_replay_hierarchy_mode(policy):
+    trace = _trace("lbm")
+    full = SimulationEngine(config=TINY_CONFIG, mode="hierarchy").run(trace, policy)
+    stats = SimulationEngine(config=TINY_CONFIG, mode="hierarchy",
+                             detail="stats").run(trace, policy)
+    assert _counters(full.llc_stats) == _counters(stats.llc_stats)
+    assert full.timing.cycles == stats.timing.cycles
+    assert full.timing.ipc == stats.timing.ipc
+
+
+def test_stats_detail_skips_records():
+    result = SimulationEngine(config=TINY_CONFIG, detail="stats").run(
+        _trace("astar"), "lru")
+    assert result.detail == "stats"
+    assert result.records == []
+    # Full-detail replay still produces one record per access.
+    full = SimulationEngine(config=TINY_CONFIG).run(_trace("astar"), "lru")
+    assert full.detail == "full"
+    assert len(full.records) == NUM_ACCESSES
+
+
+def test_invalid_detail_rejected():
+    with pytest.raises(ValueError):
+        SimulationEngine(config=TINY_CONFIG, detail="verbose")
+    with pytest.raises(ValueError):
+        Cache(TINY_CONFIG.llc, detail="verbose")
+
+
+def test_set_hit_rates_is_lazy_and_cached():
+    result = SimulationEngine(config=TINY_CONFIG, detail="stats").run(
+        _trace("astar"), "lru")
+    assert "set_hit_rates" not in result.__dict__  # not derived yet
+    rates = result.set_hit_rates
+    assert rates and all(0.0 <= rate <= 1.0 for rate in rates.values())
+    assert result.__dict__["set_hit_rates"] is rates  # cached after first read
+
+
+def test_per_set_counters_are_preallocated_lists():
+    stats = CacheStats.for_sets(4)
+    assert stats.per_set_accesses == [0, 0, 0, 0]
+    assert stats.per_set_hits == [0, 0, 0, 0]
+    assert stats.set_hit_rates() == {}  # nothing accessed yet
+    stats.per_set_accesses[1] = 4
+    stats.per_set_hits[1] = 3
+    assert stats.set_hit_rates() == {1: 0.75}
+
+
+def test_cache_lookup_uses_tag_maps_consistently():
+    cache = Cache(TINY_CONFIG.llc)
+    cache.access(pc=0x400000, byte_address=0x1000, is_write=False, access_index=0)
+    assert cache.contains(0x1000)
+    way, line = cache.lookup(cache.block_address(0x1000))
+    assert way is not None and line.block_address == cache.block_address(0x1000)
+    assert cache.occupancy() == 1
+    cache.flush()
+    assert not cache.contains(0x1000)
+    assert cache.occupancy() == 0

@@ -1,0 +1,73 @@
+"""Perf harness report shape and the bench CLI timing output."""
+
+import json
+
+from repro.cli import main
+from repro.perf import (
+    current_revision,
+    default_report_path,
+    format_report,
+    run_perf_suite,
+    write_report,
+)
+from repro.sim.config import TINY_CONFIG
+
+SUITE_KWARGS = dict(quick=True, workloads=("astar",), policies=("lru",),
+                    config=TINY_CONFIG, num_accesses=400, repeats=1, jobs=1)
+
+
+def test_run_perf_suite_report_shape():
+    report = run_perf_suite(**SUITE_KWARGS)
+    assert report["schema"] == 1
+    assert report["quick"] is True
+    assert report["params"]["num_accesses"] == 400
+    names = [timing["name"] for timing in report["timings"]]
+    assert "trace_generation/astar" in names
+    assert "replay_full/astar/lru" in names
+    assert "replay_stats/astar/lru" in names
+    assert "database_build/cold_serial" in names
+    assert "database_build/warm_memoised" in names
+    assert all(timing["seconds"] >= 0 for timing in report["timings"])
+    derived = report["derived"]
+    assert derived["stats_replay_speedup"]["astar/lru"] > 0
+    assert derived["warm_build_speedup"] > 1  # memoised rebuild must be faster
+
+
+def test_write_and_format_report(tmp_path):
+    report = run_perf_suite(**SUITE_KWARGS)
+    path = tmp_path / "BENCH_test.json"
+    written = write_report(report, path=str(path))
+    assert written == str(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["revision"] == report["revision"]
+    rendered = format_report(report)
+    assert "perf suite @" in rendered
+    assert "stats-only replay speedup" in rendered
+
+
+def test_default_report_path_uses_revision():
+    assert default_report_path("abc1234") == "BENCH_abc1234.json"
+    assert current_revision()  # never empty
+
+
+def test_bench_cli_prints_timings_and_cache_stats(capsys):
+    code = main(["bench", "--workloads", "astar", "--policies", "lru,belady",
+                 "--accesses", "400", "--config", "tiny"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "built in" in out and "ms/simulation" in out
+    assert "simulation cache:" in out
+
+
+def test_bench_cli_perf_mode_writes_report(tmp_path, capsys):
+    output = tmp_path / "BENCH_cli.json"
+    code = main(["bench", "--perf", "--quick", "--workloads", "astar",
+                 "--policies", "lru", "--accesses", "400", "--config", "tiny",
+                 "--perf-output", str(output)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "perf suite @" in out
+    assert output.exists()
+    report = json.loads(output.read_text())
+    assert report["params"]["policies"] == ["lru"]
+    assert report["params"]["num_accesses"] == 400
