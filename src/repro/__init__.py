@@ -25,7 +25,7 @@ subcommands over the same facade.
 
 from repro.core.answer import Answer
 from repro.core.pipeline import SIMULATION_CACHE, CacheMind, SimulationCache
-from repro.errors import UnknownNameError
+from repro.errors import StoreVersionError, UnknownNameError
 from repro.core.query import QueryIntent, QueryParser
 from repro.llm.backend import (
     LLMBackend,
@@ -49,6 +49,7 @@ from repro.retrieval.base import (
 from repro.sim.config import PAPER_CONFIG, SMALL_CONFIG, TINY_CONFIG, HierarchyConfig
 from repro.sim.engine import SimulationEngine, SimulationResult, simulate
 from repro.tracedb.database import TraceDatabase, TraceEntry, build_database
+from repro.tracedb.store import TraceStore
 from repro.workloads.generator import (
     WorkloadGenerator,
     available_workloads,

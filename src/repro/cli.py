@@ -1,6 +1,6 @@
-"""Command-line interface: ``python -m repro {simulate,ask,bench}``.
+"""Command-line interface: ``python -m repro {simulate,ask,bench,store}``.
 
-All three subcommands drive the same :class:`~repro.core.pipeline.CacheMind`
+All subcommands drive the same :class:`~repro.core.pipeline.CacheMind`
 facade (and therefore share the process-wide simulation memoiser):
 
 * ``simulate`` -- run one (workload, policy) simulation and print the
@@ -10,7 +10,10 @@ facade (and therefore share the process-wide simulation memoiser):
 * ``bench``    -- build the database once (``--jobs N`` parallelises it) and
   print the per-workload, per-policy metric table with the winner per row,
   plus build timings and simulation-cache hit/miss counts.  ``bench --perf``
-  runs the tracked benchmark harness instead and writes ``BENCH_<rev>.json``.
+  runs the tracked benchmark harness instead and writes ``BENCH_<rev>.json``,
+* ``store``    -- manage the persistent on-disk simulation store
+  (``save``/``load``/``info``/``gc``), so repeated sessions and fresh
+  processes start warm instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -20,8 +23,8 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.core.pipeline import CacheMind
-from repro.errors import UnknownNameError
+from repro.core.pipeline import CacheMind, SimulationCache
+from repro.errors import StoreVersionError, UnknownNameError
 from repro.llm.backend import available_backend_names
 from repro.policies.base import available_policies
 from repro.retrieval.base import available_retrievers
@@ -121,6 +124,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--perf-output", default=None, metavar="PATH",
                        help="with --perf: where to write the JSON report "
                             "(default: BENCH_<rev>.json in the cwd)")
+    bench.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="with --perf: directory for the warm-start "
+                            "section's store, kept afterwards e.g. for CI "
+                            "artifact upload. WIPED and repopulated by the "
+                            "benchmark — do not point it at a store you "
+                            "want to keep (default: a temporary directory)")
+
+    store = subparsers.add_parser(
+        "store", help="manage the persistent on-disk simulation store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_save = store_sub.add_parser(
+        "save", help="build the database and persist every entry")
+    _add_session_arguments(store_save)
+    store_save.add_argument("--dir", required=True, metavar="DIR",
+                            help="store directory (created if missing)")
+    store_save.add_argument("--jobs", type=int, default=None,
+                            help="parallel simulation workers (default: 1)")
+
+    store_load = store_sub.add_parser(
+        "load", help="rebuild the database from the store (warm start)")
+    _add_session_arguments(store_load)
+    store_load.add_argument("--dir", required=True, metavar="DIR",
+                            help="store directory to load from")
+    store_load.add_argument("--expect-warm", action="store_true",
+                            help="exit non-zero if any simulation actually "
+                                 "ran (CI warm-start assertion)")
+
+    store_info = store_sub.add_parser(
+        "info", help="print store schema, record counts and size")
+    store_info.add_argument("--dir", required=True, metavar="DIR")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="drop corrupt/foreign records; optionally prune by age")
+    store_gc.add_argument("--dir", required=True, metavar="DIR")
+    store_gc.add_argument("--max-records", type=int, default=None,
+                          help="keep at most this many records "
+                               "(oldest pruned first)")
     return parser
 
 
@@ -145,7 +186,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"capacity {stats.capacity_misses}, "
           f"conflict {stats.conflict_misses})")
     print(f"  wrong evictions: {result.wrong_evictions}; "
-          f"records kept: {len(result.records)}")
+          f"records kept: {result.num_records}")
     return 0
 
 
@@ -210,6 +251,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.tracedb.store import TraceStore
+
+    # Read-only commands must not conjure an empty store out of a typo'd
+    # path; only save/load (which build) may create the directory.
+    if args.store_command in ("info", "gc") and not os.path.isdir(args.dir):
+        print(f"error: no trace store at {args.dir!r}", file=sys.stderr)
+        return 1
+
+    if args.store_command == "info":
+        info = TraceStore(args.dir).info()
+        print(f"trace store at {info['root']}")
+        print(f"  schema version: {info['schema']}")
+        print(f"  records: {info['records']} "
+              f"({info['entries']} entries, {info['results']} results, "
+              f"{info['unreadable']} unreadable)")
+        print(f"  size: {info['total_bytes'] / 1024:.1f} KiB")
+        return 0
+
+    if args.store_command == "gc":
+        # strict=False: gc is the documented recovery path for a store
+        # written by a different build, so it must be able to open one.
+        removed = TraceStore(args.dir, strict=False).gc(
+            max_records=args.max_records)
+        for reason, names in removed.items():
+            for name in names:
+                print(f"  removed ({reason}): {name}")
+        total = sum(len(names) for names in removed.values())
+        print(f"gc: removed {total} record(s) from {args.dir}")
+        return 0
+
+    # save / load share the session plumbing; each uses a private cache so
+    # hit/miss counters describe exactly this command's work.
+    store = TraceStore(args.dir)
+    cache = SimulationCache(store=store)
+    jobs = getattr(args, "jobs", None)
+    session = _make_session(args, simulation_cache=cache,
+                            jobs=jobs if jobs is not None else 1)
+    start = time.perf_counter()
+    _ = session.database
+    seconds = time.perf_counter() - start
+    stats = cache.stats()
+    pairs = len(session.workloads) * len(session.policies)
+    if args.store_command == "save":
+        print(f"saved {pairs} (workload, policy) entries to {args.dir} "
+              f"in {seconds:.3f}s "
+              f"({stats['misses']} simulated, {stats['hits']} cached, "
+              f"{store.saves} record(s) written)")
+        return 0
+
+    print(f"loaded {pairs} entries from {args.dir} in {seconds:.3f}s "
+          f"({stats['store_hits']} from store, {stats['misses']} simulated)")
+    if args.expect_warm and stats["misses"] > 0:
+        print(f"error: expected a warm start but {stats['misses']} "
+              f"simulation(s) ran", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from repro.perf import format_report, run_perf_suite, write_report
     from repro.perf.harness import BENCH_POLICIES, BENCH_WORKLOADS
@@ -229,7 +331,8 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
                             mode=args.mode,
                             seed=args.seed,
                             num_accesses=args.accesses,
-                            jobs=args.jobs)
+                            jobs=args.jobs,
+                            store_dir=args.store_dir)
     print(format_report(report))
     path = write_report(report, path=args.perf_output)
     print(f"  report written to {path}")
@@ -243,6 +346,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "ask": _cmd_ask,
         "bench": _cmd_bench,
+        "store": _cmd_store,
     }[args.command]
     try:
         return handler(args)
@@ -254,7 +358,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError:
             pass
         return 0
-    except (UnknownNameError, ValueError) as error:
+    except (StoreVersionError, UnknownNameError, ValueError) as error:
         # Registry lookups and configuration validation get the one-line
         # treatment; any other exception is a genuine bug and tracebacks.
         print(f"error: {error}", file=sys.stderr)

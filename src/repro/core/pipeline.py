@@ -28,6 +28,7 @@ the shape the asynchronous/batched serving work (Kinsy et al.) plugs into.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -63,6 +64,7 @@ from repro.tracedb.database import (
     TraceEntry,
     make_entry,
 )
+from repro.tracedb.store import TraceStore, simulation_key
 from repro.workloads.generator import get_workload
 from repro.workloads.trace import MemoryTrace
 
@@ -87,19 +89,29 @@ class SimulationCache:
     the (hashable, frozen) hierarchy config, engine mode, trace length, seed
     and the record cap.  ``hits``/``misses`` are exposed so callers and tests
     can verify that repeated sessions reuse prior work.
+
+    With a ``store`` (a :class:`~repro.tracedb.store.TraceStore` or a
+    directory path), memoisation extends across processes: in-memory misses
+    fall through to the on-disk store before simulating, and freshly
+    computed results/entries are persisted, so a warm session in a new
+    process runs zero simulations.  Store loads count as ``hits`` (an
+    avoided simulation) and additionally as ``store_hits``.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256,
+                 store: Union[TraceStore, str, None] = None) -> None:
         # OrderedDicts with LRU eviction: the cache is process-wide and
         # simulation results are large, so a sweep over many seeds or trace
         # lengths must not grow memory without bound.
         self.max_entries = max_entries
+        self.store = (TraceStore(store) if isinstance(store, str) else store)
         self._results: "OrderedDict[tuple, SimulationResult]" = OrderedDict()
         self._entries: "OrderedDict[tuple, TraceEntry]" = OrderedDict()
         self._traces: "OrderedDict[tuple, Tuple[MemoryTrace, str]]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     def _put(self, store: "OrderedDict", key: tuple, value) -> None:
         """Insert under the LRU bound (caller holds the lock)."""
@@ -121,9 +133,10 @@ class SimulationCache:
         """Generate (or reuse) a workload trace; returns (trace, description).
 
         The returned trace is the shared cached object: treat it as
-        immutable.  To modify it, work on a deep copy
-        (``copy.deepcopy(trace)`` — ``slice()`` shares the access objects),
-        or every later session with the same key sees the mutation.
+        immutable.  To modify it, work on a copy (``copy.deepcopy(trace)``,
+        or a ``slice()`` — zero-copy views copy-on-write before any
+        mutation), or every later session with the same key sees the
+        mutation.
         """
         key = (workload, num_accesses, seed)
         with self._lock:
@@ -143,26 +156,46 @@ class SimulationCache:
     @staticmethod
     def _key(engine: SimulationEngine, trace: MemoryTrace,
              policy_name: str) -> tuple:
-        # trace.fingerprint() keys by content, so a hand-built trace sharing
-        # (workload, length, seed) with a generated one cannot collide.
-        return (trace.workload, policy_name, engine.config, engine.mode,
-                engine.detail, len(trace), trace.seed, trace.fingerprint(),
-                engine.max_records, engine.history_window,
-                engine.annotate_context)
+        # Shared with the on-disk store so both layers agree on identity
+        # (content fingerprint, config, mode, detail, record cap, ...).
+        return simulation_key(engine, trace, policy_name)
+
+    def _install_entry(self, sim_key: tuple, entry_key: tuple,
+                       entry: "TraceEntry") -> None:
+        """Memoise a loaded/computed entry plus its embedded result
+        (caller must NOT hold the lock)."""
+        with self._lock:
+            if entry.result is not None:
+                self._put(self._results, sim_key, entry.result)
+            self._put(self._entries, entry_key, entry)
 
     def get_or_run(self, engine: SimulationEngine, trace: MemoryTrace,
                    policy_name: str) -> SimulationResult:
-        """Run ``trace`` under ``policy_name``, reusing a memoised result."""
+        """Run ``trace`` under ``policy_name``, reusing a memoised result.
+
+        Lookup order: in-memory, then the on-disk store (if attached), then
+        a real simulation (whose result is persisted).
+        """
         key = self._key(engine, trace, policy_name)
         with self._lock:
             result = self._get(self._results, key)
             if result is not None:
                 self.hits += 1
                 return result
+        if self.store is not None:
+            result = self.store.load_result(key)
+            if result is not None:
+                with self._lock:
+                    self._put(self._results, key, result)
+                    self.hits += 1
+                    self.store_hits += 1
+                return result
         result = engine.run(trace, policy_name)
         with self._lock:
             self._put(self._results, key, result)
             self.misses += 1
+        if self.store is not None:
+            self.store.save_result(key, result)
         return result
 
     def get_entry(self, engine: SimulationEngine, trace: MemoryTrace,
@@ -171,9 +204,13 @@ class SimulationCache:
 
         The table conversion and whole-trace statistics dominate repeat
         session builds once the simulation itself is cached, so the derived
-        :class:`TraceEntry` is memoised under the same key.
+        :class:`TraceEntry` is memoised under the same key — in memory and,
+        when a store is attached, on disk.  A fresh computation persists
+        both records (the entry *and* the bare result), so a later
+        :meth:`get_or_run` in a brand-new process is warm too.
         """
-        key = self._key(engine, trace, policy_name) + (description,)
+        sim_key = self._key(engine, trace, policy_name)
+        key = sim_key + (description,)
         with self._lock:
             entry = self._get(self._entries, key)
             if entry is not None:
@@ -181,10 +218,20 @@ class SimulationCache:
                 # hit/miss counters keep describing simulation reuse.
                 self.hits += 1
                 return entry
+        if self.store is not None:
+            entry = self.store.load_entry(key)
+            if entry is not None:
+                self._install_entry(sim_key, key, entry)
+                with self._lock:
+                    self.hits += 1
+                    self.store_hits += 1
+                return entry
         result = self.get_or_run(engine, trace, policy_name)
         entry = make_entry(result, workload_description=description)
         with self._lock:
             self._put(self._entries, key, entry)
+        if self.store is not None:
+            self.store.save_entry(key, entry)
         return entry
 
     def peek_entry(self, engine: SimulationEngine, trace: MemoryTrace,
@@ -193,15 +240,25 @@ class SimulationCache:
         """A memoised entry if present, else ``None`` (never simulates).
 
         Used by parallel database builds to dispatch only the cache misses
-        to workers.  A found entry counts as a hit, mirroring
-        :meth:`get_entry`.
+        to workers; consults the on-disk store after the in-memory maps.  A
+        found entry counts as a hit, mirroring :meth:`get_entry`.
         """
-        key = self._key(engine, trace, policy_name) + (description,)
+        sim_key = self._key(engine, trace, policy_name)
+        key = sim_key + (description,)
         with self._lock:
             entry = self._get(self._entries, key)
             if entry is not None:
                 self.hits += 1
-        return entry
+                return entry
+        if self.store is not None:
+            entry = self.store.load_entry(key)
+            if entry is not None:
+                self._install_entry(sim_key, key, entry)
+                with self._lock:
+                    self.hits += 1
+                    self.store_hits += 1
+                return entry
+        return None
 
     def put_entry(self, engine: SimulationEngine, trace: MemoryTrace,
                   policy_name: str, description: str,
@@ -210,7 +267,8 @@ class SimulationCache:
 
         Counts as one miss: the simulation genuinely ran, just not through
         :meth:`get_or_run`.  The embedded result is memoised too, so later
-        :meth:`get_or_run` calls for the same key are hits.
+        :meth:`get_or_run` calls for the same key are hits.  With a store
+        attached, both records are persisted for future processes.
         """
         key = self._key(engine, trace, policy_name)
         with self._lock:
@@ -218,6 +276,10 @@ class SimulationCache:
                 self._put(self._results, key, entry.result)
             self._put(self._entries, key + (description,), entry)
             self.misses += 1
+        if self.store is not None:
+            self.store.save_entry(key + (description,), entry)
+            if entry.result is not None:
+                self.store.save_result(key, entry.result)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -227,15 +289,19 @@ class SimulationCache:
         return {"results": len(self._results),
                 "derived_entries": len(self._entries),
                 "traces": len(self._traces),
-                "hits": self.hits, "misses": self.misses}
+                "hits": self.hits, "misses": self.misses,
+                "store_hits": self.store_hits}
 
     def clear(self) -> None:
+        """Drop the in-memory maps and counters (the on-disk store, if any,
+        is left intact — use ``store.clear()`` to wipe it)."""
         with self._lock:
             self._results.clear()
             self._entries.clear()
             self._traces.clear()
             self.hits = 0
             self.misses = 0
+            self.store_hits = 0
 
 
 #: default process-wide cache shared by every session.
@@ -261,7 +327,8 @@ class CacheMind:
                  max_records: Optional[int] = None,
                  simulation_cache: Optional[SimulationCache] = None,
                  jobs: int = 1,
-                 executor: str = "auto"):
+                 executor: str = "auto",
+                 store_dir: Optional[str] = None):
         if not workloads:
             raise ValueError("CacheMind needs at least one workload")
         if not policies:
@@ -278,8 +345,29 @@ class CacheMind:
         # (see _build_database); only cache misses are dispatched.
         self.jobs = max(1, int(jobs))
         self.executor = executor
-        self.simulation_cache = (simulation_cache if simulation_cache is not None
-                                 else SIMULATION_CACHE)
+        # store_dir attaches a persistent on-disk store so repeated sessions
+        # (and parallel workers) start warm across processes.  With an
+        # explicit simulation_cache the store is attached to it (unless it
+        # already has one); otherwise a private store-backed cache is used
+        # rather than mutating the process-wide singleton.
+        self.store_dir = store_dir
+        if simulation_cache is not None:
+            self.simulation_cache = simulation_cache
+            if store_dir is not None:
+                if self.simulation_cache.store is None:
+                    self.simulation_cache.store = TraceStore(store_dir)
+                elif (os.path.abspath(self.simulation_cache.store.root)
+                      != os.path.abspath(os.fspath(store_dir))):
+                    # Silently persisting to a different directory than the
+                    # caller named would strand their store_dir cold.
+                    raise ValueError(
+                        f"simulation_cache already persists to "
+                        f"{self.simulation_cache.store.root!r}; cannot also "
+                        f"attach store_dir={store_dir!r}")
+        elif store_dir is not None:
+            self.simulation_cache = SimulationCache(store=TraceStore(store_dir))
+        else:
+            self.simulation_cache = SIMULATION_CACHE
         # get_backend passes instances through; lenient=True drops the
         # always-offered seed/prompting for factories not declaring them.
         self.backend = get_backend(backend, lenient=True, seed=seed,

@@ -14,3 +14,13 @@ class UnknownNameError(KeyError):
         # KeyError.__str__ repr-quotes its argument; these messages are
         # human-readable sentences and must print unquoted.
         return self.args[0] if self.args else ""
+
+
+class StoreVersionError(RuntimeError):
+    """A persistent trace store was written with an incompatible schema.
+
+    Raised when opening a store directory whose manifest declares a
+    different ``STORE_SCHEMA_VERSION``: silently mixing layouts could serve
+    stale or misdecoded simulation results, so the store refuses to load.
+    Delete the directory (or run ``python -m repro store gc``) to rebuild.
+    """

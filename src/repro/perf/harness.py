@@ -5,6 +5,9 @@ The suite times, on the bundled workloads:
 * trace generation,
 * full-detail vs stats-only replay (per policy, with derived speedups),
 * cold, parallel and warm (memoised) trace-database builds,
+* cold-vs-warm *session* starts through the persistent on-disk store
+  (``store_warm_start``: a fresh memoiser loading every entry from disk
+  instead of simulating),
 
 and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
 revisions, so consecutive reports are directly comparable.  ``--quick``
@@ -21,7 +24,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
 import subprocess
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -91,11 +96,20 @@ def run_perf_suite(quick: bool = False,
                    num_accesses: Optional[int] = None,
                    repeats: Optional[int] = None,
                    jobs: Optional[int] = None,
-                   seed: int = 0) -> Dict[str, object]:
-    """Run the benchmark suite and return the report dictionary."""
+                   seed: int = 0,
+                   store_dir: Optional[str] = None) -> Dict[str, object]:
+    """Run the benchmark suite and return the report dictionary.
+
+    ``store_dir`` names the persistent-store directory used by the
+    warm-start section (kept afterwards, e.g. for CI artifact upload); by
+    default a temporary directory is used and removed.  The cold-save
+    measurement **wipes and repopulates** that directory each repeat, so
+    never point it at a store whose contents you want to keep.
+    """
     # Imported here, not at module top: the pipeline imports the sim layer,
     # and the perf package must stay importable from anywhere below it.
     from repro.core.pipeline import CacheMind, SimulationCache
+    from repro.tracedb.store import TraceStore
 
     if num_accesses is None:
         num_accesses = 4000 if quick else 20000
@@ -176,6 +190,37 @@ def run_perf_suite(quick: bool = False,
         repeats, cache_stats=dict(warm_cache.stats()))
     timings.append(warm)
 
+    # --- persistent store: cold save, then warm cross-process-style start
+    cleanup_store = store_dir is None
+    store_path = (store_dir if store_dir is not None
+                  else tempfile.mkdtemp(prefix="cachemind-bench-store-"))
+
+    def store_populate():
+        TraceStore(store_path).clear()
+        CacheMind(simulation_cache=SimulationCache(store=store_path),
+                  **session_kwargs)._build_database()
+
+    populate = _measure("store/cold_build_and_save", store_populate, repeats,
+                        store_dir=store_path)
+    timings.append(populate)
+
+    warm_store_stats: Dict[str, int] = {}
+
+    def store_warm_build():
+        # A fresh SimulationCache per run models a brand-new process: the
+        # only warmth is the on-disk store.
+        cache = SimulationCache(store=store_path)
+        CacheMind(simulation_cache=cache, **session_kwargs)._build_database()
+        warm_store_stats.update(cache.stats())
+
+    store_warm = _measure("database_build/store_warm", store_warm_build,
+                          repeats, store_dir=store_path)
+    store_warm.meta["cache_stats"] = dict(warm_store_stats)
+    timings.append(store_warm)
+    store_info = TraceStore(store_path).info()
+    if cleanup_store:
+        shutil.rmtree(store_path, ignore_errors=True)
+
     # --- derived summary -------------------------------------------------
     speedup_values = sorted(replay_speedups.values())
     derived: Dict[str, object] = {
@@ -185,10 +230,24 @@ def run_perf_suite(quick: bool = False,
             speedup_values[len(speedup_values) // 2] if speedup_values else None),
         "warm_build_speedup": (cold.seconds / warm.seconds
                                if warm.seconds > 0 else None),
+        "store_warm_speedup": (cold.seconds / store_warm.seconds
+                               if store_warm.seconds > 0 else None),
     }
     if parallel is not None:
         derived["parallel_build_speedup"] = (
             cold.seconds / parallel.seconds if parallel.seconds > 0 else None)
+
+    store_warm_start = {
+        "cold_seconds": cold.seconds,
+        "cold_build_and_save_seconds": populate.seconds,
+        "warm_seconds": store_warm.seconds,
+        "speedup": derived["store_warm_speedup"],
+        "store_dir": store_path if not cleanup_store else None,
+        "store_records": store_info["records"],
+        "store_bytes": store_info["total_bytes"],
+        "warm_cache_stats": dict(warm_store_stats),
+        "zero_simulations": warm_store_stats.get("misses") == 0,
+    }
 
     return {
         "schema": SCHEMA_VERSION,
@@ -210,6 +269,7 @@ def run_perf_suite(quick: bool = False,
         },
         "timings": [asdict(timing) for timing in timings],
         "derived": derived,
+        "store_warm_start": store_warm_start,
     }
 
 
@@ -247,4 +307,11 @@ def format_report(report: Dict[str, object]) -> str:
         lines.append(
             f"  warm (memoised) build speedup: "
             f"{derived['warm_build_speedup']:.0f}x")
+    store_section = report.get("store_warm_start")
+    if store_section and store_section.get("speedup") is not None:
+        lines.append(
+            f"  store warm-start speedup over cold build: "
+            f"{store_section['speedup']:.1f}x "
+            f"({store_section['store_records']} records, "
+            f"{'zero simulations' if store_section['zero_simulations'] else 'RE-SIMULATED'})")
     return "\n".join(lines)

@@ -111,6 +111,17 @@ class CacheStats:
             if accesses
         }
 
+    def as_tuple(self) -> Tuple:
+        """Every counter (aggregate and per-set) as one comparable tuple.
+
+        The canonical form for byte-identity assertions across replay paths
+        and store round-trips.
+        """
+        return (self.accesses, self.hits, self.misses, self.evictions,
+                self.bypasses, self.compulsory_misses, self.capacity_misses,
+                self.conflict_misses, tuple(self.per_set_accesses),
+                tuple(self.per_set_hits))
+
 
 @dataclass
 class AccessOutcome:

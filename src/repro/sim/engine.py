@@ -1,10 +1,13 @@
 """Trace-driven simulation engine producing eviction-annotated records.
 
-The engine replays a :class:`~repro.workloads.trace.MemoryTrace` and emits
-one :class:`~repro.tracedb.schema.AccessRecord` per LLC access, annotated
+The engine replays a :class:`~repro.workloads.trace.MemoryTrace` — reading
+its raw typed columns, not per-access objects — and appends one row per LLC
+access into a columnar :class:`~repro.tracedb.schema.AccessLog`, annotated
 with forward reuse distances, recency, eviction victims, resident lines,
 policy eviction scores and source/assembly context — exactly the columns the
-trace database stores (paper section 4.3).
+trace database stores (paper section 4.3).  Row views
+(:class:`~repro.tracedb.schema.AccessRecord`) are materialised lazily via
+``SimulationResult.records``.
 
 Two modes are supported:
 
@@ -53,13 +56,22 @@ from repro.sim.cpu import (
     TimingResult,
 )
 from repro.policies.basic import LRUPolicy
-from repro.tracedb.schema import AccessRecord
-from repro.workloads.trace import MemoryTrace, TraceAccess
+from repro.tracedb.schema import (
+    AccessLog,
+    AccessRecord,
+    MISS_TYPE_CODES,
+    NEVER_REUSED,
+)
+from repro.workloads.trace import FLAG_PREFETCH, FLAG_WRITE, MemoryTrace
 
 
 @dataclass
 class SimulationResult:
-    """Everything produced by one (workload, policy) simulation."""
+    """Everything produced by one (workload, policy) simulation.
+
+    Per-access data lives in the columnar ``log``; the ``records`` row view
+    is materialised (and cached) only when someone asks for it.
+    """
 
     workload: str
     policy_name: str
@@ -67,12 +79,31 @@ class SimulationResult:
     config: HierarchyConfig
     mode: str
     detail: str = DETAIL_FULL
-    records: List[AccessRecord] = field(default_factory=list)
+    log: Optional[AccessLog] = field(default=None, repr=False)
     llc_stats: CacheStats = field(default_factory=CacheStats)
     level_stats: Dict[str, CacheStats] = field(default_factory=dict)
     timing: TimingResult = field(default_factory=TimingResult)
     wrong_evictions: int = 0
     binary: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def num_records(self) -> int:
+        """Row count of the access log (without materialising records)."""
+        return len(self.log) if self.log is not None else 0
+
+    @cached_property
+    def records(self) -> List[AccessRecord]:
+        """Lazily materialised row views over the columnar access log."""
+        return self.log.to_records() if self.log is not None else []
+
+    def __getstate__(self) -> dict:
+        # Drop lazily materialised caches: the row views rebuild from the
+        # (compact) log, and pickling them would explode the payload the
+        # persistent store and parallel workers ship around.
+        state = dict(self.__dict__)
+        state.pop("records", None)
+        state.pop("set_hit_rates", None)
+        return state
 
     @property
     def llc_accesses(self) -> int:
@@ -147,15 +178,21 @@ class SimulationEngine:
     # pass 1: determine which accesses reach the LLC
     # ------------------------------------------------------------------
     def _build_llc_stream(self, trace: MemoryTrace
-                          ) -> Tuple[List[Tuple[int, TraceAccess]], Dict[int, str]]:
+                          ) -> Tuple[List[Tuple[int, int, int, bool, bool]],
+                                     Dict[int, str]]:
         """Return the LLC-bound accesses and the service level of the rest.
 
-        The first element is a list of ``(trace_index, access)`` pairs that
+        The first element is a list of ``(trace_index, pc, address, is_write,
+        is_prefetch)`` tuples (decoded straight from the trace columns) that
         reach the LLC; the second maps every other trace index to the level
         (L1 or L2) that serviced it.
         """
+        pcs, addresses, flags, _instr = trace.columns()
         if self.mode == "llc_only":
-            return [(index, access) for index, access in enumerate(trace.accesses)], {}
+            return [(index, pc, address, bool(flag & FLAG_WRITE),
+                     bool(flag & FLAG_PREFETCH))
+                    for index, (pc, address, flag)
+                    in enumerate(zip(pcs, addresses, flags))], {}
 
         # The upper levels are always LRU, so the stats-only fast path is
         # behaviourally identical and filtering needs no outcome details.
@@ -163,24 +200,26 @@ class SimulationEngine:
         l2 = Cache(self.config.l2, LRUPolicy(), detail=DETAIL_STATS)
         l1_access = l1d.access_fast
         l2_access = l2.access_fast
-        llc_stream: List[Tuple[int, TraceAccess]] = []
+        llc_stream: List[Tuple[int, int, int, bool, bool]] = []
         upper_levels: Dict[int, str] = {}
-        for index, access in enumerate(trace.accesses):
-            if l1_access(access.pc, access.address, access.is_write, index,
-                         is_prefetch=access.is_prefetch):
+        for index, (pc, address, flag) in enumerate(zip(pcs, addresses, flags)):
+            is_write = bool(flag & FLAG_WRITE)
+            is_prefetch = bool(flag & FLAG_PREFETCH)
+            if l1_access(pc, address, is_write, index,
+                         is_prefetch=is_prefetch):
                 upper_levels[index] = LEVEL_L1
                 continue
-            if l2_access(access.pc, access.address, access.is_write, index,
-                         is_prefetch=access.is_prefetch):
+            if l2_access(pc, address, is_write, index,
+                         is_prefetch=is_prefetch):
                 upper_levels[index] = LEVEL_L2
                 continue
-            llc_stream.append((index, access))
+            llc_stream.append((index, pc, address, is_write, is_prefetch))
         return llc_stream, upper_levels
 
     # ------------------------------------------------------------------
     # pass 2 support: reuse-distance precomputation over the LLC stream
     # ------------------------------------------------------------------
-    def _compute_reuse(self, llc_stream: Sequence[Tuple[int, TraceAccess]]
+    def _compute_reuse(self, llc_stream: Sequence[Tuple[int, int, int, bool, bool]]
                        ) -> Tuple[List[int], List[int]]:
         """Forward next-use and backward previous-use positions per access.
 
@@ -190,8 +229,8 @@ class SimulationEngine:
         """
         block_bytes = self.config.llc.block_bytes
         positions_by_block: Dict[int, List[int]] = {}
-        for position, (_index, access) in enumerate(llc_stream):
-            block = access.address // block_bytes
+        for position, (_index, _pc, address, _w, _p) in enumerate(llc_stream):
+            block = address // block_bytes
             positions_by_block.setdefault(block, []).append(position)
 
         next_use = [NEVER] * len(llc_stream)
@@ -220,7 +259,7 @@ class SimulationEngine:
     # pass 2: replay the LLC with the policy under study
     # ------------------------------------------------------------------
     def _replay_llc(self, trace: MemoryTrace, policy: ReplacementPolicy,
-                    llc_stream: List[Tuple[int, TraceAccess]],
+                    llc_stream: List[Tuple[int, int, int, bool, bool]],
                     upper_levels: Dict[int, str],
                     next_use: List[int], prev_use: List[int]) -> SimulationResult:
         llc = Cache(self.config.llc, policy, classify_misses=True)
@@ -228,73 +267,77 @@ class SimulationEngine:
         block_bytes = self.config.llc.block_bytes
         binary = trace.binary
 
-        records: List[AccessRecord] = []
+        log = AccessLog()
         history: List[Tuple[int, int]] = []  # (block, pc) of recent LLC accesses
         llc_levels: Dict[int, str] = {}
         wrong_evictions = 0
+        annotate = self.annotate_context and binary is not None
+        # Source/assembly context is a pure function of the PC, so it is
+        # resolved once per unique PC instead of once per access.
+        context_by_pc: Dict[int, Tuple[str, str, str]] = {}
+        empty_context = ("", "", "")
 
-        for position, (trace_index, access) in enumerate(llc_stream):
-            block = access.address // block_bytes
-            outcome = llc.access(access.pc, access.address, access.is_write,
+        for position, (trace_index, pc, address, is_write,
+                       is_prefetch) in enumerate(llc_stream):
+            block = address // block_bytes
+            outcome = llc.access(pc, address, is_write,
                                  access_index=position,
                                  next_use=next_use[position],
-                                 is_prefetch=access.is_prefetch)
+                                 is_prefetch=is_prefetch)
             llc_levels[trace_index] = LEVEL_LLC if outcome.hit else LEVEL_DRAM
 
-            accessed_rd = (None if next_use[position] >= NEVER
-                           else next_use[position] - position)
-            recency = (None if prev_use[position] < 0
+            accessed_rd = (NEVER_REUSED if next_use[position] >= NEVER
+                          else next_use[position] - position)
+            recency = (NEVER_REUSED if prev_use[position] < 0
                        else position - prev_use[position])
-            evicted_rd = None
-            if outcome.evicted_block is not None:
-                evicted_next = self._next_use_of_block(outcome.evicted_block, position)
-                evicted_rd = None if evicted_next >= NEVER else evicted_next - position
-                if evicted_rd is not None and (accessed_rd is None
-                                               or evicted_rd < accessed_rd):
-                    wrong_evictions += 1
+            evicted_rd = NEVER_REUSED
+            evicted_block = outcome.evicted_block
+            if evicted_block is not None:
+                evicted_next = self._next_use_of_block(evicted_block, position)
+                if evicted_next < NEVER:
+                    evicted_rd = evicted_next - position
+                    if accessed_rd == NEVER_REUSED or evicted_rd < accessed_rd:
+                        wrong_evictions += 1
 
-            if self.max_records is None or len(records) < self.max_records:
-                function_name = ""
-                function_code = ""
-                assembly_code = ""
-                if self.annotate_context and binary is not None:
-                    function_name = binary.function_name(access.pc)
-                    function_code = binary.source_snippet(access.pc)
-                    assembly_code = binary.assembly_context(access.pc)
-                records.append(AccessRecord(
-                    access_index=position,
-                    program_counter=access.pc,
-                    memory_address=block,
-                    cache_set_id=outcome.set_index,
-                    is_hit=outcome.hit,
-                    miss_type=outcome.miss_type,
-                    evicted_address=outcome.evicted_block,
-                    accessed_reuse_distance=accessed_rd,
-                    evicted_reuse_distance=evicted_rd,
-                    accessed_recency=recency,
-                    function_name=function_name,
-                    function_code=function_code,
-                    assembly_code=assembly_code,
-                    current_cache_lines=list(outcome.resident_lines),
-                    recent_access_history=list(history[-self.history_window:]),
-                    cache_line_eviction_scores=list(outcome.eviction_scores),
-                ))
+            if self.max_records is None or len(log) < self.max_records:
+                if annotate:
+                    context = context_by_pc.get(pc)
+                    if context is None:
+                        context = (binary.function_name(pc),
+                                   binary.source_snippet(pc),
+                                   binary.assembly_context(pc))
+                        context_by_pc[pc] = context
+                else:
+                    context = empty_context
+                log.append(
+                    position, pc, block, outcome.set_index, outcome.hit,
+                    MISS_TYPE_CODES[outcome.miss_type],
+                    -1 if evicted_block is None else evicted_block,
+                    accessed_rd, evicted_rd, recency,
+                    context[0], context[1], context[2],
+                    list(outcome.resident_lines),
+                    list(history[-self.history_window:]),
+                    list(outcome.eviction_scores),
+                )
 
-            history.append((block, access.pc))
+            history.append((block, pc))
             if len(history) > 4 * self.history_window:
                 del history[: 2 * self.history_window]
 
-        # Timing: walk the whole trace once, using the recorded service levels.
-        for trace_index, access in enumerate(trace.accesses):
-            if not access.is_prefetch:
-                cpu.retire(access.instructions_since_last + 1)
+        # Timing: walk the whole trace once — straight over the raw columns —
+        # using the recorded service levels.
+        _pcs, _addresses, trace_flags, trace_instr = trace.columns()
+        for trace_index, (flag, gap) in enumerate(zip(trace_flags, trace_instr)):
+            is_prefetch = bool(flag & FLAG_PREFETCH)
+            if not is_prefetch:
+                cpu.retire(gap + 1)
             level = upper_levels.get(trace_index) or llc_levels.get(trace_index)
             if level is None:
                 # llc_only mode guarantees an LLC level for every access; this
                 # branch only guards against malformed traces.
                 level = LEVEL_DRAM
-            cpu.memory_access(level, is_write=access.is_write,
-                              is_prefetch=access.is_prefetch)
+            cpu.memory_access(level, is_write=bool(flag & FLAG_WRITE),
+                              is_prefetch=is_prefetch)
 
         result = SimulationResult(
             workload=trace.workload,
@@ -303,7 +346,7 @@ class SimulationEngine:
             config=self.config,
             mode=self.mode,
             detail=self.detail,
-            records=records,
+            log=log,
             llc_stats=llc.stats,
             level_stats={"llc": llc.stats},
             timing=cpu.finish(),
@@ -316,18 +359,18 @@ class SimulationEngine:
     # stats-only replay
     # ------------------------------------------------------------------
     @staticmethod
-    def _next_use_sequence(accesses: Sequence[TraceAccess],
+    def _next_use_sequence(addresses: Sequence[int],
                            block_bytes: int) -> List[int]:
-        """Per-position next-use indices over one access sequence.
+        """Per-position next-use indices over one address sequence.
 
         Single reverse pass — cheaper than the full per-block position lists
         the record-building path needs, and only computed at all when the
         policy declares ``requires_future``.
         """
-        next_use = [NEVER] * len(accesses)
+        next_use = [NEVER] * len(addresses)
         next_seen: Dict[int, int] = {}
-        for position in range(len(accesses) - 1, -1, -1):
-            block = accesses[position].address // block_bytes
+        for position in range(len(addresses) - 1, -1, -1):
+            block = addresses[position] // block_bytes
             next_use[position] = next_seen.get(block, NEVER)
             next_seen[block] = position
         return next_use
@@ -361,14 +404,14 @@ class SimulationEngine:
     def _replay_stats_llc_only(self, trace: MemoryTrace, llc: Cache,
                                requires_future: bool
                                ) -> Tuple[CacheStats, TimingResult]:
-        """Fused simulate+timing loop over the raw access list.
+        """Fused simulate+timing loop over the raw trace columns.
 
         Accumulates the analytic timing model inline in the same order as
         :class:`CPUModel`, so IPC/cycles match the full-detail path exactly.
         """
         config = self.config
-        accesses = trace.accesses
-        next_use = (self._next_use_sequence(accesses, config.llc.block_bytes)
+        pcs, addresses, flags, instr = trace.columns()
+        next_use = (self._next_use_sequence(addresses, config.llc.block_bytes)
                     if requires_future else None)
 
         # Hoisted loop state: one bound method, precomputed stall constants.
@@ -389,17 +432,18 @@ class SimulationEngine:
         llc_count = dram_count = 0
         llc_stall_events = dram_stall_events = 0
 
-        for position, access in enumerate(accesses):
-            is_prefetch = access.is_prefetch
-            is_write = access.is_write
+        for position, (pc, address, flag, gap) in enumerate(
+                zip(pcs, addresses, flags, instr)):
+            is_prefetch = bool(flag & FLAG_PREFETCH)
+            is_write = bool(flag & FLAG_WRITE)
             if next_use is None:
-                hit = access_fast(access.pc, access.address, is_write,
+                hit = access_fast(pc, address, is_write,
                                   position, NEVER, is_prefetch)
             else:
-                hit = access_fast(access.pc, access.address, is_write,
+                hit = access_fast(pc, address, is_write,
                                   position, next_use[position], is_prefetch)
             if not is_prefetch:
-                retired = access.instructions_since_last + 1
+                retired = gap + 1
                 instructions += retired
                 base_cycles += retired / retire_width
             if hit:
@@ -437,30 +481,33 @@ class SimulationEngine:
         llc_stream, upper_levels = self._build_llc_stream(trace)
         block_bytes = self.config.llc.block_bytes
         next_use = (self._next_use_sequence(
-            [access for _index, access in llc_stream], block_bytes)
+            [address for _i, _pc, address, _w, _p in llc_stream], block_bytes)
             if requires_future else None)
 
         access_fast = llc.access_fast
         llc_hits: List[bool] = []
-        for position, (_trace_index, access) in enumerate(llc_stream):
+        for position, (_trace_index, pc, address, is_write,
+                       is_prefetch) in enumerate(llc_stream):
             llc_hits.append(access_fast(
-                access.pc, access.address, access.is_write, position,
+                pc, address, is_write, position,
                 NEVER if next_use is None else next_use[position],
-                access.is_prefetch))
+                is_prefetch))
 
         # The filtered stream is sparse relative to the trace, so the timing
         # walk reuses CPUModel rather than a fused loop (identical numbers).
         cpu = CPUModel(self.config)
         llc_position = 0
-        for trace_index, access in enumerate(trace.accesses):
-            if not access.is_prefetch:
-                cpu.retire(access.instructions_since_last + 1)
+        _pcs, _addresses, trace_flags, trace_instr = trace.columns()
+        for trace_index, (flag, gap) in enumerate(zip(trace_flags, trace_instr)):
+            is_prefetch = bool(flag & FLAG_PREFETCH)
+            if not is_prefetch:
+                cpu.retire(gap + 1)
             level = upper_levels.get(trace_index)
             if level is None:
                 level = LEVEL_LLC if llc_hits[llc_position] else LEVEL_DRAM
                 llc_position += 1
-            cpu.memory_access(level, is_write=access.is_write,
-                              is_prefetch=access.is_prefetch)
+            cpu.memory_access(level, is_write=bool(flag & FLAG_WRITE),
+                              is_prefetch=is_prefetch)
         return llc.stats, cpu.finish()
 
 

@@ -14,14 +14,24 @@ This package provides the external store that CacheMind retrievers query:
 * :mod:`~repro.tracedb.metadata` -- the whole-trace metadata summary string.
 * :mod:`~repro.tracedb.stats` -- the "cache statistical expert": per-PC and
   per-set statistics (miss rates, reuse distances, wrong-eviction ratios).
+* :mod:`~repro.tracedb.store` -- the versioned persistent on-disk store
+  (:class:`~repro.tracedb.store.TraceStore`) that lets fresh processes load
+  entries/results instead of re-simulating.
 """
 
 from repro.tracedb.table import Table, Column
 from repro.tracedb.schema import (
     ACCESS_COLUMNS,
+    AccessLog,
     AccessRecord,
     records_to_table,
     table_to_records,
+)
+from repro.tracedb.store import (
+    STORE_SCHEMA_VERSION,
+    TraceStore,
+    entry_key,
+    simulation_key,
 )
 from repro.tracedb.metadata import TraceMetadata, build_metadata_string
 from repro.tracedb.stats import (
@@ -43,9 +53,14 @@ __all__ = [
     "Table",
     "Column",
     "ACCESS_COLUMNS",
+    "AccessLog",
     "AccessRecord",
     "records_to_table",
     "table_to_records",
+    "STORE_SCHEMA_VERSION",
+    "TraceStore",
+    "entry_key",
+    "simulation_key",
     "TraceMetadata",
     "build_metadata_string",
     "CacheStatisticalExpert",

@@ -16,6 +16,7 @@ and the synthetic binary image around for insight analyses.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.sim.parallel import ParallelSimulator, SimulationJob
 from repro.tracedb.metadata import build_metadata_string
 from repro.tracedb.schema import records_to_table
 from repro.tracedb.stats import CacheStatisticalExpert, WorkloadStatistics
+from repro.tracedb.store import TraceStore, entry_key, simulation_key
 from repro.tracedb.table import Table
 from repro.workloads.generator import get_workload
 from repro.workloads.trace import MemoryTrace
@@ -49,17 +51,52 @@ def parse_trace_key(key: str) -> Tuple[str, str]:
     return parts[0], parts[1]
 
 
-@dataclass
 class TraceEntry:
-    """One (workload, policy) entry of the external store."""
+    """One (workload, policy) entry of the external store.
 
-    workload: str
-    policy: str
-    data_frame: Table
-    metadata: str
-    description: str
-    statistics: WorkloadStatistics
-    result: Optional[SimulationResult] = field(default=None, repr=False)
+    ``data_frame`` is materialised lazily: when the entry crosses a process
+    boundary (persistent store record, parallel-worker result), only the
+    compact columnar access log inside ``result`` travels, and the table is
+    rebuilt — byte-identically — on first access.  That keeps store records
+    small and warm session starts buffer-speed instead of re-unpickling
+    millions of formatted cells.
+    """
+
+    def __init__(self, workload: str, policy: str,
+                 data_frame: Optional[Table], metadata: str,
+                 description: str, statistics: WorkloadStatistics,
+                 result: Optional[SimulationResult] = None):
+        self.workload = workload
+        self.policy = policy
+        self.metadata = metadata
+        self.description = description
+        self.statistics = statistics
+        self.result = result
+        self._data_frame = data_frame
+        if data_frame is None and (result is None or result.log is None):
+            raise ValueError(
+                "TraceEntry needs a data_frame or a result with an access "
+                "log to rebuild one from")
+
+    @property
+    def data_frame(self) -> Table:
+        """The per-access table, rebuilt from the access log if needed."""
+        if self._data_frame is None:
+            self._data_frame = self.result.log.to_table()
+        return self._data_frame
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # The table is pure derived data whenever the log is present; ship
+        # the compact log only and rebuild lazily on the other side.
+        if self.result is not None and self.result.log is not None:
+            state["_data_frame"] = None
+        return state
+
+    def __repr__(self) -> str:
+        return (f"TraceEntry(workload={self.workload!r}, "
+                f"policy={self.policy!r}, "
+                f"rows={len(self.data_frame)})")
 
     @property
     def key(self) -> str:
@@ -81,8 +118,13 @@ class TraceEntry:
 def make_entry(result: SimulationResult,
                workload_description: str = "") -> TraceEntry:
     """Derive a database entry (table, statistics, metadata) from one
-    simulation result."""
-    table = records_to_table(result.records)
+    simulation result.
+
+    The data frame is assembled column-by-column from the result's columnar
+    access log (byte-identical to the legacy row-materialised path, without
+    building a dict per row)."""
+    table = (result.log.to_table() if result.log is not None
+             else records_to_table(result.records))
     stats = CacheStatisticalExpert(table).workload_statistics()
     workload_part = workload_description or f"workload {result.workload}"
     description = (f"Replacement Policy: {result.policy_description} "
@@ -182,18 +224,22 @@ class TraceDatabase:
               traces: Optional[Dict[str, MemoryTrace]] = None,
               max_records: Optional[int] = None,
               jobs: int = 1,
-              executor: str = "auto") -> "TraceDatabase":
+              executor: str = "auto",
+              store: Optional[object] = None) -> "TraceDatabase":
         """Build a database, optionally in parallel (``jobs > 1``).
 
         Parallel builds fan the (workload, policy) pairs out over a
         :class:`~repro.sim.parallel.ParallelSimulator` and produce entries
-        identical to a serial build.
+        identical to a serial build.  ``store`` (a
+        :class:`~repro.tracedb.store.TraceStore` or directory path) makes
+        the build persistent: cached entries are loaded instead of
+        simulated, and fresh entries are saved for future processes.
         """
         return build_database(workloads=workloads, policies=policies,
                               num_accesses=num_accesses, config=config,
                               mode=mode, seed=seed, traces=traces,
                               max_records=max_records, jobs=jobs,
-                              executor=executor)
+                              executor=executor, store=store)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
@@ -216,7 +262,8 @@ def build_database(workloads: Sequence[str] = DEFAULT_WORKLOADS,
                    traces: Optional[Dict[str, MemoryTrace]] = None,
                    max_records: Optional[int] = None,
                    jobs: int = 1,
-                   executor: str = "auto") -> TraceDatabase:
+                   executor: str = "auto",
+                   store: Optional[object] = None) -> TraceDatabase:
     """Simulate every (workload, policy) pair and build the database.
 
     ``traces`` may supply pre-generated traces keyed by workload name (useful
@@ -224,38 +271,87 @@ def build_database(workloads: Sequence[str] = DEFAULT_WORKLOADS,
     their default generator.  ``jobs > 1`` fans the pairs out over a process
     pool (falling back to threads/serial); because traces and policies are
     deterministic, the parallel build is identical to the serial one.
+
+    ``store`` (a :class:`~repro.tracedb.store.TraceStore` or a directory
+    path) adds cross-process persistence: pairs already in the store are
+    loaded instead of simulated, and freshly simulated pairs are written
+    back, so repeated builds in fresh processes start warm.  Store keys
+    include the trace content fingerprint, so a changed generator or a
+    hand-supplied trace never matches a stale record.
     """
+    if store is not None and not isinstance(store, TraceStore):
+        store = TraceStore(os.fspath(store))
     database = TraceDatabase(config=config)
-    if jobs > 1:
+    engine = SimulationEngine(config=config, mode=mode, max_records=max_records)
+
+    # Trace resolution: supplied traces are used as-is; otherwise traces are
+    # generated up front when needed in-process (serial run, or store keys
+    # that hash trace content).  A store-less parallel build skips parent
+    # generation entirely — workers regenerate deterministically.
+    need_traces = store is not None or jobs <= 1
+    trace_map: Dict[str, MemoryTrace] = {}
+    description_map: Dict[str, str] = {}
+    for workload_name in workloads:
+        if traces is not None and workload_name in traces:
+            trace_map[workload_name] = traces[workload_name]
+            description_map[workload_name] = traces[workload_name].description
+        elif need_traces:
+            generator = get_workload(workload_name, seed=seed)
+            trace_map[workload_name] = generator.generate(num_accesses)
+            description_map[workload_name] = generator.description
+        else:
+            description_map[workload_name] = ""
+
+    pending: List[Tuple[str, str]] = []
+    for workload_name in workloads:
+        for policy_name in policies:
+            if store is not None:
+                key = entry_key(engine, trace_map[workload_name], policy_name,
+                                description_map[workload_name])
+                entry = store.load_entry(key)
+                if entry is not None:
+                    database.install_entry(entry)
+                    continue
+            pending.append((workload_name, policy_name))
+
+    def persist(workload_name: str, policy_name: str, entry) -> None:
+        """Write both store records so any later lookup path starts warm."""
+        trace = trace_map[workload_name]
+        store.save_entry(
+            entry_key(engine, trace, policy_name,
+                      description_map[workload_name]),
+            entry)
+        if entry.result is not None:
+            store.save_result(simulation_key(engine, trace, policy_name),
+                              entry.result)
+
+    if jobs > 1 and pending:
         simulation_jobs = [
+            # Traces already generated in the parent (supplied, or needed
+            # for store keys) ship with the job — MemoryTrace pickles at
+            # buffer speed — so workers never regenerate them.
             SimulationJob(workload=workload_name, policy=policy_name,
                           num_accesses=num_accesses, seed=seed,
-                          description=(traces[workload_name].description
-                                       if traces is not None
-                                       and workload_name in traces else ""),
-                          trace=(traces.get(workload_name)
-                                 if traces is not None else None))
-            for workload_name in workloads
-            for policy_name in policies
+                          description=description_map[workload_name],
+                          trace=trace_map.get(workload_name))
+            for workload_name, policy_name in pending
         ]
         simulator = ParallelSimulator(jobs=jobs, executor=executor,
                                       config=config, mode=mode,
                                       max_records=max_records)
-        for entry in simulator.run_entries(simulation_jobs):
+        for (workload_name, policy_name), entry in zip(
+                pending, simulator.run_entries(simulation_jobs)):
+            if store is not None:
+                persist(workload_name, policy_name, entry)
             database.install_entry(entry)
         return database
 
-    engine = SimulationEngine(config=config, mode=mode, max_records=max_records)
-    for workload_name in workloads:
-        if traces is not None and workload_name in traces:
-            trace = traces[workload_name]
-            description = trace.description
-        else:
-            generator = get_workload(workload_name, seed=seed)
-            trace = generator.generate(num_accesses)
-            description = generator.description
-        for policy_name in policies:
-            policy = get_policy(policy_name)
-            result = engine.run(trace, policy)
-            database.add_result(result, workload_description=description)
+    for workload_name, policy_name in pending:
+        trace = trace_map[workload_name]
+        policy = get_policy(policy_name)
+        result = engine.run(trace, policy)
+        entry = database.add_result(
+            result, workload_description=description_map[workload_name])
+        if store is not None:
+            persist(workload_name, policy_name, entry)
     return database

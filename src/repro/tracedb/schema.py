@@ -1,15 +1,19 @@
 """Per-access record schema for the external trace database.
 
 Section 4.3 of the paper documents one row per LLC access with the columns
-listed in :data:`ACCESS_COLUMNS`.  :class:`AccessRecord` is the in-memory
-representation produced by the simulation engine; ``records_to_table``
-materialises a list of records into a :class:`~repro.tracedb.table.Table`
-with exactly that schema, which is what Sieve filters and Ranger-generated
-code query.
+listed in :data:`ACCESS_COLUMNS`.  :class:`AccessLog` is the columnar
+in-memory representation the simulation engine appends into (typed arrays
+plus ragged object columns); :meth:`AccessLog.to_table` builds the canonical
+:class:`~repro.tracedb.table.Table` column-by-column, which is what Sieve
+filters and Ranger-generated code query.  :class:`AccessRecord` remains the
+per-access *row view* — ``AccessLog.to_records`` materialises it on demand,
+and ``records_to_table`` still converts row lists for hand-built inputs; both
+paths produce byte-identical tables.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -53,6 +57,12 @@ MISS_TYPE_CONFLICT = "Conflict"
 
 #: Sentinel reuse distance for "never reused again".
 NEVER_REUSED = -1
+
+#: Miss-type labels indexed by the byte code stored in ``AccessLog``.
+MISS_TYPE_LABELS = (MISS_TYPE_NONE, MISS_TYPE_COMPULSORY, MISS_TYPE_CAPACITY,
+                    MISS_TYPE_CONFLICT)
+#: Inverse mapping (label -> byte code) used by producers.
+MISS_TYPE_CODES = {label: code for code, label in enumerate(MISS_TYPE_LABELS)}
 
 
 def format_pc(pc: int) -> str:
@@ -177,6 +187,211 @@ class AccessRecord:
             "accessed_address_recency_numeric": recency,
             "is_miss": 0 if self.is_hit else 1,
         }
+
+
+class AccessLog:
+    """Columnar accumulator of per-access annotations (the engine's output).
+
+    Scalar columns live in typed arrays (``-1`` encodes "absent" for the
+    optional reuse/recency/eviction values, matching :data:`NEVER_REUSED`).
+    The ragged snapshot columns — resident lines, recent history, eviction
+    scores — are packed into *flat* typed arrays plus prefix-offset arrays
+    (row ``i`` owns the flat span ``offsets[i]:offsets[i+1]``), so the whole
+    log pickles/unpickles at buffer speed: no per-tuple object cost, which
+    is what makes the persistent store's warm starts fast.  Per-PC source
+    context stays as string lists (pickle deduplicates the shared per-PC
+    string objects).  ``to_table`` builds the canonical data frame directly
+    from these columns — no intermediate row dictionaries — and is
+    byte-identical to ``records_to_table(log.to_records())``.
+    """
+
+    __slots__ = ("access_indices", "pcs", "block_addresses", "set_ids",
+                 "hit_flags", "miss_type_codes", "evicted_blocks",
+                 "accessed_reuse", "evicted_reuse", "recencies",
+                 "function_names", "function_codes", "assembly_codes",
+                 "line_pairs", "line_offsets", "history_pairs",
+                 "history_offsets", "score_blocks", "score_values",
+                 "score_offsets")
+
+    def __init__(self) -> None:
+        self.access_indices = array("Q")
+        self.pcs = array("Q")
+        self.block_addresses = array("Q")
+        self.set_ids = array("Q")
+        self.hit_flags = array("B")
+        self.miss_type_codes = array("B")
+        self.evicted_blocks = array("q")      # -1 = no eviction
+        self.accessed_reuse = array("q")      # NEVER_REUSED = never reused
+        self.evicted_reuse = array("q")
+        self.recencies = array("q")           # NEVER_REUSED = never seen
+        self.function_names: List[str] = []
+        self.function_codes: List[str] = []
+        self.assembly_codes: List[str] = []
+        # Ragged columns: interleaved (block, pc) pairs / parallel
+        # (block, score) flats, with per-row prefix offsets into them.
+        self.line_pairs = array("Q")
+        self.line_offsets = array("Q", [0])
+        self.history_pairs = array("Q")
+        self.history_offsets = array("Q", [0])
+        self.score_blocks = array("Q")
+        self.score_values = array("d")
+        self.score_offsets = array("Q", [0])
+
+    def __len__(self) -> int:
+        return len(self.access_indices)
+
+    # Pickle support: __slots__ classes have no __dict__, and the arrays
+    # themselves serialise as raw buffers.
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    def append(self, access_index: int, pc: int, block_address: int,
+               set_id: int, is_hit: bool, miss_type_code: int,
+               evicted_block: int, accessed_reuse: int, evicted_reuse: int,
+               recency: int, function_name: str, function_code: str,
+               assembly_code: str, resident: List[Tuple[int, int]],
+               history: List[Tuple[int, int]],
+               scores: List[Tuple[int, float]]) -> None:
+        """Append one access (optional ints already encoded as ``-1``)."""
+        self.access_indices.append(access_index)
+        self.pcs.append(pc)
+        self.block_addresses.append(block_address)
+        self.set_ids.append(set_id)
+        self.hit_flags.append(1 if is_hit else 0)
+        self.miss_type_codes.append(miss_type_code)
+        self.evicted_blocks.append(evicted_block)
+        self.accessed_reuse.append(accessed_reuse)
+        self.evicted_reuse.append(evicted_reuse)
+        self.recencies.append(recency)
+        self.function_names.append(function_name)
+        self.function_codes.append(function_code)
+        self.assembly_codes.append(assembly_code)
+        line_pairs = self.line_pairs
+        for block, line_pc in resident:
+            line_pairs.append(block)
+            line_pairs.append(line_pc)
+        self.line_offsets.append(len(line_pairs))
+        history_pairs = self.history_pairs
+        for block, history_pc in history:
+            history_pairs.append(block)
+            history_pairs.append(history_pc)
+        self.history_offsets.append(len(history_pairs))
+        score_blocks = self.score_blocks
+        score_values = self.score_values
+        for block, score in scores:
+            score_blocks.append(block)
+            score_values.append(score)
+        self.score_offsets.append(len(score_blocks))
+
+    # ------------------------------------------------------------------
+    # ragged-row decoding
+    # ------------------------------------------------------------------
+    def row_lines(self, i: int) -> List[Tuple[int, int]]:
+        """Resident ``(block, pc)`` pairs of row ``i``."""
+        flat = self.line_pairs
+        start, stop = self.line_offsets[i], self.line_offsets[i + 1]
+        return [(flat[j], flat[j + 1]) for j in range(start, stop, 2)]
+
+    def row_history(self, i: int) -> List[Tuple[int, int]]:
+        """Recent-access ``(block, pc)`` pairs of row ``i``."""
+        flat = self.history_pairs
+        start, stop = self.history_offsets[i], self.history_offsets[i + 1]
+        return [(flat[j], flat[j + 1]) for j in range(start, stop, 2)]
+
+    def row_scores(self, i: int) -> List[Tuple[int, float]]:
+        """Eviction-score ``(block, score)`` pairs of row ``i``."""
+        start, stop = self.score_offsets[i], self.score_offsets[i + 1]
+        blocks = self.score_blocks
+        values = self.score_values
+        return [(blocks[j], values[j]) for j in range(start, stop)]
+
+    # ------------------------------------------------------------------
+    def to_table(self) -> Table:
+        """Build the canonical data frame column-by-column (no row dicts).
+
+        Every formatted value matches :meth:`AccessRecord.to_row` exactly,
+        so tables from this path are byte-identical to the row-materialised
+        ``records_to_table`` output.
+        """
+        size = len(self)
+        formatted_lines = [
+            [(format_address(addr), format_pc(pc)) for addr, pc in self.row_lines(i)]
+            for i in range(size)
+        ]
+        columns: Dict[str, List[Any]] = {
+            "access_index": list(self.access_indices),
+            "program_counter": [format_pc(pc) for pc in self.pcs],
+            "memory_address": [format_address(addr)
+                               for addr in self.block_addresses],
+            "cache_set_id": list(self.set_ids),
+            "evict": [HIT_LABEL if hit else MISS_LABEL
+                      for hit in self.hit_flags],
+            "miss_type": [MISS_TYPE_LABELS[code]
+                          for code in self.miss_type_codes],
+            "evicted_address": [format_address(block) if block >= 0 else ""
+                                for block in self.evicted_blocks],
+            # describe_recency / describe_reuse_distance already treat a
+            # negative value exactly like None, so the -1 encoding feeds them
+            # directly.
+            "accessed_address_recency": [describe_recency(value)
+                                         for value in self.recencies],
+            "accessed_address_reuse_distance": [
+                describe_reuse_distance(value) for value in self.accessed_reuse],
+            "evicted_address_reuse_distance": [
+                describe_reuse_distance(value) for value in self.evicted_reuse],
+            "function_name": list(self.function_names),
+            "function_code": list(self.function_codes),
+            "assembly_code": list(self.assembly_codes),
+            "current_cache_lines": formatted_lines,
+            "recent_access_history": [
+                [(format_address(addr), format_pc(pc))
+                 for addr, pc in self.row_history(i)]
+                for i in range(size)],
+            "cache_line_eviction_scores": [self.row_scores(i)
+                                           for i in range(size)],
+            "current_cache_line_addresses": [
+                [addr for addr, _pc in lines] for lines in formatted_lines],
+            "evicted_address_reuse_distance_numeric": list(self.evicted_reuse),
+            "accessed_address_reuse_distance_numeric": list(self.accessed_reuse),
+            "accessed_address_recency_numeric": list(self.recencies),
+            "is_miss": [0 if hit else 1 for hit in self.hit_flags],
+        }
+        return Table.from_columns({name: columns[name]
+                                   for name in ACCESS_COLUMNS})
+
+    def to_records(self) -> List[AccessRecord]:
+        """Materialise the row view (compatibility / inspection path)."""
+        records = []
+        for i in range(len(self)):
+            evicted = self.evicted_blocks[i]
+            accessed_rd = self.accessed_reuse[i]
+            evicted_rd = self.evicted_reuse[i]
+            recency = self.recencies[i]
+            records.append(AccessRecord(
+                access_index=self.access_indices[i],
+                program_counter=self.pcs[i],
+                memory_address=self.block_addresses[i],
+                cache_set_id=self.set_ids[i],
+                is_hit=bool(self.hit_flags[i]),
+                miss_type=MISS_TYPE_LABELS[self.miss_type_codes[i]],
+                evicted_address=None if evicted < 0 else evicted,
+                accessed_reuse_distance=(None if accessed_rd == NEVER_REUSED
+                                         else accessed_rd),
+                evicted_reuse_distance=(None if evicted_rd == NEVER_REUSED
+                                        else evicted_rd),
+                accessed_recency=None if recency == NEVER_REUSED else recency,
+                function_name=self.function_names[i],
+                function_code=self.function_codes[i],
+                assembly_code=self.assembly_codes[i],
+                current_cache_lines=self.row_lines(i),
+                recent_access_history=self.row_history(i),
+                cache_line_eviction_scores=self.row_scores(i),
+            ))
+        return records
 
 
 def records_to_table(records: Sequence[AccessRecord]) -> Table:

@@ -1,0 +1,400 @@
+"""Persistent on-disk store for simulation results and database entries.
+
+The in-process :class:`~repro.core.pipeline.SimulationCache` memoises within
+one interpreter; :class:`TraceStore` extends that across processes: every
+computed :class:`~repro.tracedb.database.TraceEntry` (and bare
+:class:`~repro.sim.engine.SimulationResult`) can be written to a store
+directory and re-loaded by later sessions or parallel workers, so a warm
+start runs **zero** simulations.
+
+Layout — one directory per store:
+
+* ``manifest.json`` — ``{"schema": N, "created_at": ...}``.  Opening a store
+  whose manifest declares a different :data:`STORE_SCHEMA_VERSION` raises
+  :class:`~repro.errors.StoreVersionError` (never silently mixes layouts);
+  ``python -m repro store gc`` opens non-strictly, drops the foreign
+  records and re-stamps the manifest.
+* ``entry-<digest>.pkl`` / ``result-<digest>.pkl`` — one record per cached
+  object: a small uncompressed header block (``{"schema", "kind",
+  "key_repr"}``) followed by the zlib-compressed pickled payload, so
+  maintenance commands (``info``/``gc``) read a few hundred bytes per
+  record instead of decompressing whole simulation logs.  ``digest`` is a
+  SHA-256 prefix of the key's canonical ``repr``; the stored ``key_repr``
+  is verified on load, so a (vanishingly unlikely) digest collision
+  degrades to a miss, never a wrong answer.
+
+Keys cover everything that determines a simulation's output — the trace
+content fingerprint, hierarchy config, policy, engine mode/detail and the
+record cap (see :func:`simulation_key`) — mirroring the in-memory memoiser,
+so the two layers always agree on identity.
+
+Robustness: a corrupt or truncated record file is treated as a cache miss —
+the caller rebuilds and overwrites — with a :class:`StoreCorruptionWarning`
+so the degradation is visible.  Writes are atomic (temp file + ``os.replace``)
+so concurrent sessions sharing a store directory never observe half-written
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import tempfile
+import time
+import warnings
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StoreVersionError
+
+#: Bump when the on-disk record layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: Magic prefix of every record file (schema v1: pickled header block +
+#: zlib-compressed pickled payload).
+RECORD_MAGIC = b"CMST1\n"
+
+#: Header-length prefix layout (little-endian uint32 after the magic).
+_HEADER_LEN = struct.Struct("<I")
+
+#: Name of the per-store metadata file.
+MANIFEST_NAME = "manifest.json"
+
+#: Record kinds persisted by the store.
+KIND_ENTRY = "entry"
+KIND_RESULT = "result"
+KINDS = (KIND_ENTRY, KIND_RESULT)
+
+
+class StoreCorruptionWarning(UserWarning):
+    """A store record could not be read and will be rebuilt."""
+
+
+def simulation_key(engine, trace, policy_name: str) -> tuple:
+    """Canonical identity of one simulation run.
+
+    ``trace.fingerprint()`` keys by content, so a hand-built trace sharing
+    (workload, length, seed) metadata with a generated one cannot collide.
+    The same tuple keys the in-memory
+    :class:`~repro.core.pipeline.SimulationCache` and the on-disk store.
+    """
+    return (trace.workload, policy_name, engine.config, engine.mode,
+            engine.detail, len(trace), trace.seed, trace.fingerprint(),
+            engine.max_records, engine.history_window,
+            engine.annotate_context)
+
+
+def entry_key(engine, trace, policy_name: str, description: str = "") -> tuple:
+    """Identity of one derived database entry (simulation key + description)."""
+    return simulation_key(engine, trace, policy_name) + (description,)
+
+
+def key_digest(key: tuple) -> str:
+    """Stable filename-safe digest of a cache key.
+
+    Keys contain only strings, ints, ``None`` and frozen config dataclasses,
+    all of which ``repr`` deterministically.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+
+
+class TraceStore:
+    """Versioned on-disk cache of trace-database entries and results.
+
+    ``strict=False`` skips the manifest schema check instead of raising
+    :class:`StoreVersionError` — used by maintenance commands (``gc``) that
+    must be able to open a foreign-version store to clean it up.
+    """
+
+    def __init__(self, root: str, schema_version: int = STORE_SCHEMA_VERSION,
+                 strict: bool = True):
+        self.root = os.fspath(root)
+        self.schema_version = schema_version
+        self.saves = 0
+        self.loads = 0
+        self.load_misses = 0
+        os.makedirs(self.root, exist_ok=True)
+        self._check_or_write_manifest(strict)
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _write_manifest(self) -> None:
+        self._atomic_write_bytes(self._manifest_path(), json.dumps({
+            "schema": self.schema_version,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }, indent=2).encode("utf-8"))
+
+    def _check_or_write_manifest(self, strict: bool) -> None:
+        path = self._manifest_path()
+        if os.path.exists(path):
+            if not strict:
+                return
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+                found = manifest.get("schema")
+            except (OSError, ValueError) as error:
+                raise StoreVersionError(
+                    f"trace store manifest {path!r} is unreadable: {error}")
+            if found != self.schema_version:
+                raise StoreVersionError(
+                    f"trace store at {self.root!r} was written with schema "
+                    f"version {found!r}; this build reads version "
+                    f"{self.schema_version}. Run `python -m repro store gc "
+                    f"--dir {self.root}` (or delete the directory) to "
+                    f"rebuild.")
+            return
+        self._write_manifest()
+
+    def _atomic_write_bytes(self, path: str, data: bytes) -> None:
+        handle, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as temp:
+                temp.write(data)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # record IO
+    # ------------------------------------------------------------------
+    def _record_path(self, kind: str, key: tuple) -> str:
+        return os.path.join(self.root, f"{kind}-{key_digest(key)}.pkl")
+
+    #: Exceptions that mean "this record is unreadable" rather than a bug.
+    _DECODE_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
+                      AttributeError, ImportError, IndexError, KeyError,
+                      ValueError, struct.error, zlib.error)
+
+    @staticmethod
+    def _encode_record(header: Dict[str, Any], payload: Any) -> bytes:
+        header_bytes = pickle.dumps(header, protocol=4)
+        return (RECORD_MAGIC + _HEADER_LEN.pack(len(header_bytes))
+                + header_bytes
+                + zlib.compress(pickle.dumps(payload, protocol=4), 1))
+
+    @staticmethod
+    def _decode_header(handle) -> Dict[str, Any]:
+        """Read just the small header block from an open record file."""
+        magic = handle.read(len(RECORD_MAGIC))
+        if magic != RECORD_MAGIC:
+            raise ValueError("missing record magic")
+        (header_len,) = _HEADER_LEN.unpack(handle.read(_HEADER_LEN.size))
+        header = pickle.loads(handle.read(header_len))
+        if not isinstance(header, dict):
+            raise ValueError("malformed record header")
+        return header
+
+    def save(self, kind: str, key: tuple, payload: Any) -> str:
+        """Persist one record atomically; returns the path written.
+
+        Payloads are zlib-compressed pickles (the columnar logs are highly
+        repetitive, so this shrinks the store several-fold at negligible
+        load cost) preceded by a small uncompressed header block, so
+        ``info``/``gc`` never decompress payloads.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}")
+        header = {
+            "schema": self.schema_version,
+            "kind": kind,
+            "key_repr": repr(key),
+        }
+        path = self._record_path(kind, key)
+        self._atomic_write_bytes(path, self._encode_record(header, payload))
+        self.saves += 1
+        return path
+
+    def load(self, kind: str, key: tuple) -> Optional[Any]:
+        """Load one record, or ``None`` (with a warning if it was corrupt).
+
+        Any failure mode — missing file, truncated pickle, foreign schema,
+        digest collision — degrades to a miss so callers simply rebuild.
+        """
+        path = self._record_path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                header = self._decode_header(handle)
+                mismatched = (header.get("schema") != self.schema_version
+                              or header.get("kind") != kind
+                              or header.get("key_repr") != repr(key))
+                payload = (None if mismatched else
+                           pickle.loads(zlib.decompress(handle.read())))
+        except FileNotFoundError:
+            self.load_misses += 1
+            return None
+        except self._DECODE_ERRORS as error:
+            warnings.warn(
+                f"trace store record {path!r} is unreadable ({error!r}); "
+                f"treating as a miss and rebuilding",
+                StoreCorruptionWarning, stacklevel=2)
+            self.load_misses += 1
+            return None
+        if mismatched:
+            warnings.warn(
+                f"trace store record {path!r} does not match its key/schema; "
+                f"treating as a miss and rebuilding",
+                StoreCorruptionWarning, stacklevel=2)
+            self.load_misses += 1
+            return None
+        self.loads += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    # typed wrappers
+    # ------------------------------------------------------------------
+    def save_entry(self, key: tuple, entry) -> str:
+        return self.save(KIND_ENTRY, key, entry)
+
+    def load_entry(self, key: tuple):
+        return self.load(KIND_ENTRY, key)
+
+    def save_result(self, key: tuple, result) -> str:
+        return self.save(KIND_RESULT, key, result)
+
+    def load_result(self, key: tuple):
+        return self.load(KIND_RESULT, key)
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance
+    # ------------------------------------------------------------------
+    def _record_files(self) -> List[str]:
+        names = [name for name in os.listdir(self.root)
+                 if name.endswith(".pkl")]
+        return sorted(names)
+
+    def _temp_files(self) -> List[str]:
+        """Leftover ``.tmp`` files from interrupted atomic writes.
+
+        ``os.replace`` means a live record never has this suffix, so they
+        are always safe to delete."""
+        return sorted(name for name in os.listdir(self.root)
+                      if name.endswith(".tmp"))
+
+    def _unlink_quietly(self, name: str) -> bool:
+        """Remove a store file, tolerating a concurrent session racing us."""
+        try:
+            os.unlink(os.path.join(self.root, name))
+            return True
+        except OSError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._record_files())
+
+    def iter_records(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(filename, header)`` for every readable record.
+
+        Only the small header block (``kind``/``schema``/``key_repr``) is
+        read per record — payloads are never decompressed — so maintenance
+        stays cheap however large the store grows.  Records that vanish
+        mid-iteration (a concurrent ``gc``/``clear``) are skipped.
+        """
+        for name in self._record_files():
+            path = os.path.join(self.root, name)
+            try:
+                with open(path, "rb") as handle:
+                    header = self._decode_header(handle)
+            except Exception:
+                continue
+            yield name, {"kind": header.get("kind"),
+                         "schema": header.get("schema"),
+                         "key_repr": header.get("key_repr")}
+
+    def info(self) -> Dict[str, Any]:
+        """Summary of the store: schema, per-kind counts, total bytes."""
+        counts = {kind: 0 for kind in KINDS}
+        unreadable = 0
+        total_bytes = 0
+        readable_names = set()
+        for name, header in self.iter_records():
+            readable_names.add(name)
+            kind = header.get("kind")
+            if kind in counts:
+                counts[kind] += 1
+        names = self._record_files()
+        for name in names:
+            try:
+                total_bytes += os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                continue  # removed by a concurrent session
+            if name not in readable_names:
+                unreadable += 1
+        return {
+            "root": self.root,
+            "schema": self.schema_version,
+            "records": len(names),
+            "entries": counts[KIND_ENTRY],
+            "results": counts[KIND_RESULT],
+            "unreadable": unreadable,
+            "total_bytes": total_bytes,
+            "saves": self.saves,
+            "loads": self.loads,
+            "load_misses": self.load_misses,
+        }
+
+    def gc(self, max_records: Optional[int] = None) -> Dict[str, List[str]]:
+        """Remove unreadable/foreign records; optionally prune to a budget.
+
+        Unreadable (corrupt/truncated) files, records written with a
+        different schema version, and orphaned ``.tmp`` files from
+        interrupted writes are always removed.  With ``max_records``, the
+        oldest surviving records (by modification time) are pruned until at
+        most that many remain.  The manifest is re-stamped with the current
+        schema afterwards, so ``gc`` is the supported recovery path for a
+        store left behind by a different build (open with ``strict=False``).
+        Returns the removed filenames per reason.
+        """
+        removed = {"corrupt": [], "schema": [], "pruned": [], "temp": []}
+        survivors: List[str] = []
+        readable: Dict[str, Dict[str, Any]] = dict(self.iter_records())
+        for name in self._temp_files():
+            if self._unlink_quietly(name):
+                removed["temp"].append(name)
+        for name in self._record_files():
+            header = readable.get(name)
+            if header is None:
+                if self._unlink_quietly(name):
+                    removed["corrupt"].append(name)
+            elif header.get("schema") != self.schema_version:
+                if self._unlink_quietly(name):
+                    removed["schema"].append(name)
+            else:
+                survivors.append(name)
+        if max_records is not None and len(survivors) > max_records:
+            def age(name: str) -> float:
+                try:
+                    return os.path.getmtime(os.path.join(self.root, name))
+                except OSError:
+                    return 0.0
+
+            by_age = sorted(survivors, key=age)
+            for name in by_age[:len(survivors) - max_records]:
+                if self._unlink_quietly(name):
+                    removed["pruned"].append(name)
+        self._write_manifest()
+        return removed
+
+    def clear(self) -> int:
+        """Delete every record and orphaned temp file (keeps the manifest);
+        returns the number of records removed."""
+        names = self._record_files()
+        count = sum(1 for name in names if self._unlink_quietly(name))
+        for name in self._temp_files():
+            self._unlink_quietly(name)
+        return count
+
+    def __repr__(self) -> str:
+        return (f"TraceStore(root={self.root!r}, "
+                f"schema={self.schema_version}, records={len(self)})")

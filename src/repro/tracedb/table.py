@@ -154,6 +154,34 @@ class Table:
         """Return a zero-row table with the given column names."""
         return cls({name: [] for name in columns})
 
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, List[Any]]) -> "Table":
+        """Adopt ready-made column lists without copying them.
+
+        The normal constructor defensively copies every column; this is the
+        zero-copy path for producers (the simulation engine's columnar
+        access log) that build fresh lists purpose-made for the table and
+        hand over ownership.  Each value must be a ``list``; lengths must
+        agree.  Column semantics are unchanged — ``table[name]`` wraps the
+        same list in a :class:`Column`.
+        """
+        table = cls()
+        lengths = set()
+        for name, values in columns.items():
+            if not isinstance(values, list):
+                raise TypeError(
+                    f"from_columns adopts lists; column {name!r} is "
+                    f"{type(values).__name__} (use Table(...) to copy)")
+            lengths.add(len(values))
+        if len(lengths) > 1:
+            raise ValueError(
+                f"all columns must have the same length, got lengths {sorted(lengths)}"
+            )
+        table._length = lengths.pop() if lengths else 0
+        for name, values in columns.items():
+            table._columns[name] = values
+        return table
+
     # ------------------------------------------------------------------
     # basic protocol
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from repro.policies.base import available_policies
 from repro.sim.cache import Cache, CacheStats
 from repro.sim.config import TINY_CONFIG
 from repro.sim.engine import SimulationEngine
+from repro.tracedb.schema import records_to_table
 from repro.workloads.generator import available_workloads, generate_trace
 
 NUM_ACCESSES = 300
@@ -44,6 +45,22 @@ def test_stats_replay_matches_full_replay(workload, policy):
     assert full.timing.ipc == stats.timing.ipc
     assert full.timing.accesses_by_level == stats.timing.accesses_by_level
     assert full.timing.stalls_by_level == stats.timing.stalls_by_level
+
+
+@pytest.mark.parametrize("policy", available_policies())
+@pytest.mark.parametrize("workload", available_workloads())
+def test_columnar_table_identical_to_row_materialised_table(workload, policy):
+    """The columnar spine's table path is byte-identical to the object path.
+
+    ``AccessLog.to_table`` (columns built directly from the engine's arrays)
+    must produce exactly the table the legacy path gets by materialising
+    ``AccessRecord`` rows and transposing them.
+    """
+    result = SimulationEngine(config=TINY_CONFIG).run(_trace(workload), policy)
+    columnar = result.log.to_table()
+    row_based = records_to_table(result.log.to_records())
+    assert columnar.columns == row_based.columns
+    assert columnar.to_dict() == row_based.to_dict()
 
 
 @pytest.mark.parametrize("policy", ["lru", "ship", "belady"])

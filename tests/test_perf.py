@@ -1,6 +1,7 @@
 """Perf harness report shape and the bench CLI timing output."""
 
 import json
+import os
 
 from repro.cli import main
 from repro.perf import (
@@ -27,10 +28,25 @@ def test_run_perf_suite_report_shape():
     assert "replay_stats/astar/lru" in names
     assert "database_build/cold_serial" in names
     assert "database_build/warm_memoised" in names
+    assert "store/cold_build_and_save" in names
+    assert "database_build/store_warm" in names
     assert all(timing["seconds"] >= 0 for timing in report["timings"])
     derived = report["derived"]
     assert derived["stats_replay_speedup"]["astar/lru"] > 0
     assert derived["warm_build_speedup"] > 1  # memoised rebuild must be faster
+    store_section = report["store_warm_start"]
+    assert store_section["speedup"] == derived["store_warm_speedup"] > 0
+    assert store_section["zero_simulations"] is True
+    assert store_section["store_records"] >= 1
+
+
+def test_run_perf_suite_keeps_named_store_dir(tmp_path):
+    store_dir = str(tmp_path / "bench_store")
+    report = run_perf_suite(store_dir=store_dir, **SUITE_KWARGS)
+    section = report["store_warm_start"]
+    assert section["store_dir"] == store_dir
+    assert os.path.isdir(store_dir)  # kept for artifact upload
+    assert section["store_records"] >= 1
 
 
 def test_write_and_format_report(tmp_path):

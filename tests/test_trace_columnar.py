@@ -1,0 +1,166 @@
+"""The columnar MemoryTrace spine.
+
+Typed-array columns behind the TraceAccess row API, zero-copy slices,
+memoised derived values (total_instructions, fingerprint) and the pinned
+fingerprint values that keep memoiser/store keys stable across revisions.
+"""
+
+import copy
+import pickle
+from array import array
+
+import pytest
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.trace import (
+    COLUMN_TYPECODES,
+    FLAG_PREFETCH,
+    FLAG_WRITE,
+    MemoryTrace,
+    TraceAccess,
+)
+
+#: Pinned content fingerprints: memoiser and persistent-store keys embed
+#: these, so changing the fingerprint scheme silently invalidates every
+#: existing store.  If this test fails you changed trace identity — bump
+#: STORE_SCHEMA_VERSION and re-pin deliberately.
+PINNED_FINGERPRINTS = {
+    "astar": 1488255439,
+    "lbm": 684149222,
+    "mcf": 4047000527,
+}
+PINNED_HAND_FINGERPRINT = 2073111361
+
+
+def _hand_trace():
+    return MemoryTrace(workload="hand", accesses=[
+        TraceAccess(pc=0x400, address=0x1000, instructions_since_last=4),
+        TraceAccess(pc=0x404, address=0x1040, is_write=True,
+                    instructions_since_last=2),
+        TraceAccess(pc=0x408, address=0x1080, instructions_since_last=0,
+                    is_prefetch=True),
+    ], seed=7)
+
+
+def test_columns_are_typed_arrays():
+    trace = _hand_trace()
+    columns = trace.columns()
+    assert [column.typecode for column in columns] == list(COLUMN_TYPECODES)
+    assert all(isinstance(column, array) for column in columns)
+    pcs, addresses, flags, instr = columns
+    assert list(pcs) == [0x400, 0x404, 0x408]
+    assert list(addresses) == [0x1000, 0x1040, 0x1080]
+    assert list(flags) == [0, FLAG_WRITE, FLAG_PREFETCH]
+    assert list(instr) == [4, 2, 0]
+
+
+def test_row_view_yields_trace_accesses():
+    trace = _hand_trace()
+    rows = list(trace)
+    assert [type(row) for row in rows] == [TraceAccess] * 3
+    assert rows[1] == TraceAccess(pc=0x404, address=0x1040, is_write=True,
+                                  instructions_since_last=2)
+    assert trace[2].is_prefetch and not trace[2].is_write
+    assert trace[-1] == trace[2]
+    # The accesses attribute is a live sequence view, not a copied list.
+    view = trace.accesses
+    assert len(view) == 3
+    assert view[0].pc == 0x400
+    assert [a.pc for a in view[1:3]] == [0x404, 0x408]
+    assert list(view) == rows
+
+
+def test_slice_is_zero_copy_and_copy_on_write():
+    trace = generate_trace("astar", 200, seed=0)
+    window = trace.slice(50, 100)
+    assert window.is_view and not trace.is_view
+    assert len(window) == 50
+    assert window[0] == trace[50]
+    # Same underlying buffer: the view costs no copy...
+    pcs_view = window.columns()[0]
+    assert isinstance(pcs_view, memoryview)
+    # ...until mutated, when it materialises without touching the parent.
+    window.append(TraceAccess(pc=1, address=2))
+    assert not window.is_view
+    assert len(window) == 51 and len(trace) == 200
+    assert trace[50] == window[0]
+
+
+def test_parent_mutation_after_slice_copies_on_write():
+    trace = generate_trace("astar", 100, seed=0)
+    window = trace.slice(0, 50)
+    before = window[0]
+    # The parent sheds the exported buffers instead of raising BufferError.
+    trace.append(TraceAccess(pc=9, address=8))
+    trace.extend([TraceAccess(pc=10, address=16)])
+    assert len(trace) == 102 and len(window) == 50
+    assert window[0] == before == trace[0]
+
+
+def test_total_instructions_memoised_with_append_invalidation():
+    trace = _hand_trace()
+    assert trace._total_instructions is None
+    # 4+1 and 2+1 retired; the prefetch contributes nothing.
+    assert trace.total_instructions == 8
+    assert trace._total_instructions == 8  # memoised
+    trace.append(TraceAccess(pc=0x40c, address=0x10c0,
+                             instructions_since_last=9))
+    assert trace._total_instructions is None  # invalidated
+    assert trace.total_instructions == 18
+
+
+def test_fingerprint_memoised_and_invalidated():
+    trace = _hand_trace()
+    first = trace.fingerprint()
+    assert trace._fingerprint == first
+    trace.extend([TraceAccess(pc=1, address=2)])
+    assert trace._fingerprint is None
+    assert trace.fingerprint() != first
+
+
+@pytest.mark.parametrize("workload,expected",
+                         sorted(PINNED_FINGERPRINTS.items()))
+def test_fingerprint_pinned_for_generated_traces(workload, expected):
+    assert generate_trace(workload, 300, seed=0).fingerprint() == expected
+
+
+def test_fingerprint_pinned_for_hand_built_trace():
+    assert _hand_trace().fingerprint() == PINNED_HAND_FINGERPRINT
+
+
+def test_fingerprint_covers_instruction_gaps():
+    base = MemoryTrace(workload="w", accesses=[
+        TraceAccess(pc=1, address=2, instructions_since_last=4)])
+    shifted = MemoryTrace(workload="w", accesses=[
+        TraceAccess(pc=1, address=2, instructions_since_last=5)])
+    # Different IPC-relevant content must not collide.
+    assert base.fingerprint() != shifted.fingerprint()
+
+
+def test_slice_fingerprint_matches_materialised_copy():
+    trace = generate_trace("lbm", 120, seed=1)
+    window = trace.slice(10, 90)
+    rebuilt = MemoryTrace(workload=trace.workload,
+                          accesses=list(window),
+                          binary=trace.binary,
+                          description=trace.description,
+                          seed=trace.seed)
+    assert window.fingerprint() == rebuilt.fingerprint()
+    assert window == rebuilt
+
+
+def test_pickle_and_deepcopy_materialise_views():
+    trace = generate_trace("mcf", 100, seed=2)
+    window = trace.slice(0, 40)
+    for clone in (pickle.loads(pickle.dumps(window)), copy.deepcopy(window)):
+        assert not clone.is_view
+        assert clone.fingerprint() == window.fingerprint()
+        assert list(clone) == list(window)
+
+
+def test_unique_and_count_helpers_read_columns():
+    trace = _hand_trace()
+    trace.append(TraceAccess(pc=0x400, address=0x1000))
+    assert trace.unique_pcs == [0x400, 0x404, 0x408]
+    assert trace.unique_addresses == [0x1000, 0x1040, 0x1080]
+    assert trace.pc_access_counts() == {0x400: 2, 0x404: 1, 0x408: 1}
