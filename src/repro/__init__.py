@@ -16,15 +16,23 @@ Layer stack (each importable as ``repro.<layer>``):
 * :mod:`repro.retrieval` -- Sieve, Ranger and the embedding baseline
   (registry-driven),
 * :mod:`repro.llm`       -- simulated LLM backends (registry-driven),
-* :mod:`repro.core`      -- query parsing, answer generation and the
-  :class:`CacheMind` facade tying all of the above together.
+* :mod:`repro.core`      -- query parsing, answer generation, the
+  request/plan/execute API and the :class:`CacheMind` facade tying all of
+  the above together,
+* :mod:`repro.serve`     -- the serving subsystem: the thread-safe
+  :class:`CacheMindService`, the concurrent JSON-lines
+  :class:`CacheMindServer` and the matching :class:`RemoteClient`.
 
-``python -m repro`` exposes the ``simulate``, ``ask`` and ``bench``
-subcommands over the same facade.
+``python -m repro`` exposes the ``simulate``, ``ask``, ``bench``, ``store``
+and ``serve`` subcommands over the same facade.
 """
 
-from repro.core.answer import Answer
+from repro.core.answer import Answer, AskResponse
+from repro.core.plan import AskRequest, QueryPlan, QueryPlanner
 from repro.core.pipeline import SIMULATION_CACHE, CacheMind, SimulationCache
+from repro.serve.client import RemoteClient
+from repro.serve.server import CacheMindServer
+from repro.serve.service import CacheMindService
 from repro.errors import StoreVersionError, UnknownNameError
 from repro.core.query import QueryIntent, QueryParser
 from repro.llm.backend import (
@@ -69,6 +77,14 @@ __all__ = [
     "QueryIntent",
     "QueryParser",
     "UnknownNameError",
+    # request/plan/execute serving API
+    "AskRequest",
+    "AskResponse",
+    "QueryPlan",
+    "QueryPlanner",
+    "CacheMindService",
+    "CacheMindServer",
+    "RemoteClient",
     # simulation
     "HierarchyConfig",
     "PAPER_CONFIG",

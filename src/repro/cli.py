@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro {simulate,ask,bench,store}``.
+"""Command-line interface: ``python -m repro {simulate,ask,bench,store,serve}``.
 
 All subcommands drive the same :class:`~repro.core.pipeline.CacheMind`
 facade (and therefore share the process-wide simulation memoiser):
@@ -6,14 +6,20 @@ facade (and therefore share the process-wide simulation memoiser):
 * ``simulate`` -- run one (workload, policy) simulation and print the
   summary plus the trace-database metadata line,
 * ``ask``      -- answer one or more natural-language questions with full
-  provenance,
+  provenance.  ``--json`` prints the complete ``AskResponse`` envelope
+  (answer, provenance, plan/dedup counts, timings) instead of prose;
+  ``--remote HOST:PORT`` sends the batch to a running ``repro serve``
+  instance instead of answering in-process,
 * ``bench``    -- build the database once (``--jobs N`` parallelises it) and
   print the per-workload, per-policy metric table with the winner per row,
   plus build timings and simulation-cache hit/miss counts.  ``bench --perf``
   runs the tracked benchmark harness instead and writes ``BENCH_<rev>.json``,
 * ``store``    -- manage the persistent on-disk simulation store
   (``save``/``load``/``info``/``gc``), so repeated sessions and fresh
-  processes start warm instead of re-simulating.
+  processes start warm instead of re-simulating,
+* ``serve``    -- run the concurrent JSON-lines server over one shared
+  session (see ``repro.serve``); clients connect with ``ask --remote`` or
+  any newline-delimited-JSON speaker (netcat works).
 """
 
 from __future__ import annotations
@@ -104,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="force one retriever instead of intent routing")
     ask.add_argument("--show-evidence", action="store_true",
                      help="print the evidence lines under each answer")
+    ask.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the full AskResponse dict per question "
+                          "(answer, provenance, plan counts, timings) as "
+                          "JSON instead of prose")
+    ask.add_argument("--remote", default=None, metavar="HOST:PORT",
+                     help="send the questions to a running `repro serve` "
+                          "instance instead of answering in-process "
+                          "(session flags are ignored; the server's "
+                          "session configuration applies)")
 
     bench = subparsers.add_parser(
         "bench", help="benchmark every policy on every workload")
@@ -130,6 +145,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "artifact upload. WIPED and repopulated by the "
                             "benchmark — do not point it at a store you "
                             "want to keep (default: a temporary directory)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve questions over the JSON-lines TCP protocol")
+    _add_session_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9178,
+                       help="TCP port; 0 picks a free one, printed on "
+                            "startup (default: 9178)")
+    serve.add_argument("--backend", default="gpt-4o",
+                       help="LLM backend name (default: gpt-4o)")
+    serve.add_argument("--prompting",
+                       choices=["zero_shot", "one_shot", "few_shot"],
+                       default="zero_shot")
+    serve.add_argument("--retriever", default=None,
+                       help="force one retriever instead of intent routing")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="parallel simulation workers for the database "
+                            "build (default: 1)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persistent trace store backing the session "
+                            "(warm restarts)")
+    serve.add_argument("--no-warm-up", action="store_true",
+                       help="skip the eager database build (first request "
+                            "pays for it instead)")
 
     store = subparsers.add_parser(
         "store", help="manage the persistent on-disk simulation store")
@@ -191,16 +231,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
+    import json
+
     questions = list(args.questions)
     if not questions:
         questions = [line.strip() for line in sys.stdin if line.strip()]
     if not questions:
         print("no questions given", file=sys.stderr)
         return 2
-    session = _make_session(args, backend=args.backend,
-                            prompting=args.prompting,
-                            retriever=args.retriever)
-    for answer in session.ask_many(questions):
+    if args.remote is not None:
+        # One batch round trip: the server merges duplicate simulation jobs
+        # across the batch exactly like the in-process path.
+        from repro.serve.client import RemoteClient, RemoteError
+        try:
+            with RemoteClient(args.remote) as client:
+                responses = client.ask_batch(questions,
+                                             retriever=args.retriever)
+        except (OSError, ValueError, RemoteError) as error:
+            # ValueError covers malformed addresses and non-JSON replies
+            # (json.JSONDecodeError) from something that isn't our server.
+            print(f"error: remote ask failed: {error}", file=sys.stderr)
+            return 1
+    else:
+        session = _make_session(args, backend=args.backend,
+                                prompting=args.prompting,
+                                retriever=args.retriever)
+        responses = session.ask_request_many(questions)
+    for response in responses:
+        if args.as_json:
+            print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
+            continue
+        answer = response.answer
         print(f"Q: {answer.question}")
         print(f"A: {answer.text}")
         print(f"   [category={answer.category} retriever={answer.retriever} "
@@ -212,6 +273,42 @@ def _cmd_ask(args: argparse.Namespace) -> int:
             for line in answer.evidence:
                 print(f"   | {line}")
         print()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import CacheMindServer
+    from repro.serve.service import CacheMindService
+
+    jobs = args.jobs if args.jobs is not None else 1
+    session = _make_session(args, backend=args.backend,
+                            prompting=args.prompting,
+                            retriever=args.retriever, jobs=jobs,
+                            store_dir=args.store_dir)
+    service = CacheMindService(session=session)
+    if not args.no_warm_up:
+        start = time.perf_counter()
+        stats = service.warm_up()
+        print(f"warmed up in {time.perf_counter() - start:.3f}s "
+              f"({stats['misses']} simulated, {stats['hits']} cached, "
+              f"{stats['store_hits']} from store)", flush=True)
+    server = CacheMindServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    # The ready line is machine-parsed by smoke tests: keep its shape.
+    print(f"serving CacheMind on {host}:{port} "
+          f"({len(session.workloads)} workloads x "
+          f"{len(session.policies)} policies, config '{args.config}', "
+          f"backend {session.backend.name})", flush=True)
+    print("protocol: one JSON object per line "
+          '(e.g. {"op": "ask", "question": "..."}); '
+          "ops: ask, batch, stats, ping", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+        service.close()
     return 0
 
 
@@ -347,6 +444,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ask": _cmd_ask,
         "bench": _cmd_bench,
         "store": _cmd_store,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)

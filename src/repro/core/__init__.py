@@ -6,11 +6,13 @@
   provenance (evidence, sources, retrieval quality, backend/retriever),
 * :mod:`~repro.core.generate` -- the :class:`AnswerGenerator` turning
   retrieved context into answers through the backend's skill checks,
+* :mod:`~repro.core.plan`     -- the request/plan/execute serving API
+  (:class:`AskRequest`, :class:`QueryPlan`, :class:`QueryPlanner`),
 * :mod:`~repro.core.pipeline` -- the :class:`CacheMind` facade and the
   process-wide :class:`SimulationCache`.
 """
 
-from repro.core.answer import Answer
+from repro.core.answer import Answer, AskResponse
 from repro.core.query import (
     ARITHMETIC,
     CODE_GENERATION,
@@ -33,6 +35,14 @@ from repro.core.query import (
     QueryParser,
 )
 from repro.core.generate import AnswerGenerator
+from repro.core.plan import (
+    AskRequest,
+    PlannedJob,
+    QueryPlan,
+    QueryPlanner,
+    as_request,
+    merge_jobs,
+)
 from repro.core.pipeline import (
     RANGER_TYPES,
     SIEVE_TYPES,
@@ -43,6 +53,13 @@ from repro.core.pipeline import (
 
 __all__ = [
     "Answer",
+    "AskRequest",
+    "AskResponse",
+    "PlannedJob",
+    "QueryPlan",
+    "QueryPlanner",
+    "as_request",
+    "merge_jobs",
     "AnswerGenerator",
     "CacheMind",
     "SimulationCache",

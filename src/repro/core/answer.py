@@ -1,9 +1,30 @@
-"""Answer objects returned by CacheMind."""
+"""Answer objects returned by CacheMind, and their wire envelope.
+
+Two objects cross the serving boundary (``repro.serve``):
+
+* :class:`Answer` — the grounded answer with provenance, unchanged whether
+  it was produced in-process or behind the JSON server;
+* :class:`AskResponse` — the answer plus everything the request/plan/execute
+  path learned along the way: the chosen route, the parsed intent, plan and
+  dedup job counts, and per-stage timings.
+
+Both serialise losslessly with ``to_dict``/``from_dict`` (every field is a
+plain JSON type), which is what makes the three entry points — legacy
+``CacheMind.ask``, ``CacheMindService.ask`` and the JSON-lines server —
+byte-identical on the answer payload.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional
+
+
+def _dataclass_from_dict(cls, payload: Dict[str, Any]) -> dict:
+    """Keyword arguments for ``cls`` from ``payload``, ignoring unknown keys
+    (forward compatibility: an older client may receive a newer response)."""
+    known = {f.name for f in fields(cls)}
+    return {key: value for key, value in payload.items() if key in known}
 
 
 @dataclass
@@ -38,3 +59,99 @@ class Answer:
     def short(self, width: int = 120) -> str:
         text = " ".join(self.text.split())
         return text if len(text) <= width else text[: width - 3] + "..."
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dictionary with every field.
+
+        Fields are copied (not shared) so mutating the dictionary never
+        mutates the answer; ``value`` and ``extra`` must already be plain
+        JSON types, which every generator path guarantees.
+        """
+        return {
+            "question": self.question,
+            "text": self.text,
+            "value": self.value,
+            "category": self.category,
+            "grounded": self.grounded,
+            "admitted_unknown": self.admitted_unknown,
+            "rejected_premise": self.rejected_premise,
+            "evidence": list(self.evidence),
+            "sources": list(self.sources),
+            "retrieval_quality": self.retrieval_quality,
+            "backend": self.backend,
+            "retriever": self.retriever,
+            "generated_code": self.generated_code,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Answer":
+        """Rebuild an :class:`Answer` from :meth:`to_dict` output (unknown
+        keys from newer producers are ignored)."""
+        return cls(**_dataclass_from_dict(cls, payload))
+
+
+@dataclass
+class AskResponse:
+    """One served answer plus its plan and execution telemetry.
+
+    ``timings`` maps stage names (``plan``, ``simulate``, ``retrieve``,
+    ``generate``, ``total``, plus ``batch_simulate``) to seconds —
+    ``simulate`` is this request's amortised share of the batch's shared
+    simulation pass and ``batch_simulate`` the full batch cost, so
+    per-request totals sum to the wall time; ``planned_jobs`` counts the
+    simulation jobs this request's plan named, ``batch_unique_jobs`` the
+    deduplicated job count of the batch it executed in (equal to
+    ``planned_jobs`` for a single request) and ``simulations_run`` how many
+    simulations actually executed (0 for a warm cache).  ``server`` is
+    reserved for transport-level metadata (filled by the JSON server, empty
+    in-process) and is deliberately excluded from answer equivalence.
+    """
+
+    answer: Answer
+    request_id: str = ""
+    route: str = ""
+    question_type: str = ""
+    intent: str = ""
+    planned_jobs: int = 0
+    batch_unique_jobs: int = 0
+    batch_duplicate_jobs: int = 0
+    simulations_run: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+    server: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def question(self) -> str:
+        return self.answer.question
+
+    def __str__(self) -> str:
+        return self.answer.text
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dictionary (the JSON-lines server payload)."""
+        return {
+            "answer": self.answer.to_dict(),
+            "request_id": self.request_id,
+            "route": self.route,
+            "question_type": self.question_type,
+            "intent": self.intent,
+            "planned_jobs": self.planned_jobs,
+            "batch_unique_jobs": self.batch_unique_jobs,
+            "batch_duplicate_jobs": self.batch_duplicate_jobs,
+            "simulations_run": self.simulations_run,
+            "timings": dict(self.timings),
+            "server": dict(self.server),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AskResponse":
+        """Rebuild an :class:`AskResponse` from :meth:`to_dict` output."""
+        kwargs = _dataclass_from_dict(cls, payload)
+        kwargs["answer"] = Answer.from_dict(payload.get("answer") or {})
+        return cls(**kwargs)

@@ -17,9 +17,15 @@ This module is the public seam over the whole reproduction.  A
   :class:`~repro.core.generate.AnswerGenerator`,
 * conversation memory threaded into every generator prompt.
 
-Batch entry points (:meth:`CacheMind.ask_many`,
-:meth:`CacheMind.compare_policies`) share the single database build, which is
-the shape the asynchronous/batched serving work (Kinsy et al.) plugs into.
+Asking is the explicit three-stage serving API (``repro.core.plan``):
+requests are planned (:meth:`CacheMind.plan` — parsed intent, retriever
+route, the exact simulation jobs required), batches are merged so duplicate
+jobs simulate once, and execution emits :class:`AskResponse` envelopes with
+per-stage timings (:meth:`CacheMind.ask_request_many`).  The legacy
+:meth:`CacheMind.ask`/:meth:`ask_many` delegate to that path with
+byte-identical answers, and ``repro.serve`` puts a thread-safe service, an
+asyncio front-end and a JSON-lines server on top of it (the
+asynchronous/batched serving direction of Kinsy et al.).
 
     >>> from repro import CacheMind
     >>> session = CacheMind(workloads=["astar"], policies=["lru", "belady"])
@@ -30,11 +36,19 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.answer import Answer
+from repro.core.answer import Answer, AskResponse
 from repro.core.generate import AnswerGenerator
+from repro.core.plan import (
+    AskRequest,
+    PlannedJob,
+    QueryPlan,
+    QueryPlanner,
+    as_request,
+)
 from repro.core.query import (
     ARITHMETIC,
     CODE_GENERATION,
@@ -88,7 +102,9 @@ class SimulationCache:
     Keys cover everything that determines a run's output: workload, policy,
     the (hashable, frozen) hierarchy config, engine mode, trace length, seed
     and the record cap.  ``hits``/``misses`` are exposed so callers and tests
-    can verify that repeated sessions reuse prior work.
+    can verify that repeated sessions reuse prior work; the counters and
+    :meth:`stats` read under the cache lock, so concurrent serving threads
+    never observe a torn snapshot.
 
     With a ``store`` (a :class:`~repro.tracedb.store.TraceStore` or a
     directory path), memoisation extends across processes: in-memory misses
@@ -109,9 +125,29 @@ class SimulationCache:
         self._entries: "OrderedDict[tuple, TraceEntry]" = OrderedDict()
         self._traces: "OrderedDict[tuple, Tuple[MemoryTrace, str]]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.store_hits = 0
+        self._hits = 0
+        self._misses = 0
+        self._store_hits = 0
+
+    # Counter reads take the lock: a lone int read is atomic in CPython, but
+    # serving threads read these while workers increment them, and the
+    # locked read keeps hits/misses/store_hits mutually consistent with the
+    # maps (and honest on GILless builds).  Internal code that already
+    # holds the lock must touch the underscored fields directly.
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def store_hits(self) -> int:
+        with self._lock:
+            return self._store_hits
 
     def _put(self, store: "OrderedDict", key: tuple, value) -> None:
         """Insert under the LRU bound (caller holds the lock)."""
@@ -180,20 +216,20 @@ class SimulationCache:
         with self._lock:
             result = self._get(self._results, key)
             if result is not None:
-                self.hits += 1
+                self._hits += 1
                 return result
         if self.store is not None:
             result = self.store.load_result(key)
             if result is not None:
                 with self._lock:
                     self._put(self._results, key, result)
-                    self.hits += 1
-                    self.store_hits += 1
+                    self._hits += 1
+                    self._store_hits += 1
                 return result
         result = engine.run(trace, policy_name)
         with self._lock:
             self._put(self._results, key, result)
-            self.misses += 1
+            self._misses += 1
         if self.store is not None:
             self.store.save_result(key, result)
         return result
@@ -216,15 +252,15 @@ class SimulationCache:
             if entry is not None:
                 # An entry hit is an avoided simulation: count it so the
                 # hit/miss counters keep describing simulation reuse.
-                self.hits += 1
+                self._hits += 1
                 return entry
         if self.store is not None:
             entry = self.store.load_entry(key)
             if entry is not None:
                 self._install_entry(sim_key, key, entry)
                 with self._lock:
-                    self.hits += 1
-                    self.store_hits += 1
+                    self._hits += 1
+                    self._store_hits += 1
                 return entry
         result = self.get_or_run(engine, trace, policy_name)
         entry = make_entry(result, workload_description=description)
@@ -248,15 +284,15 @@ class SimulationCache:
         with self._lock:
             entry = self._get(self._entries, key)
             if entry is not None:
-                self.hits += 1
+                self._hits += 1
                 return entry
         if self.store is not None:
             entry = self.store.load_entry(key)
             if entry is not None:
                 self._install_entry(sim_key, key, entry)
                 with self._lock:
-                    self.hits += 1
-                    self.store_hits += 1
+                    self._hits += 1
+                    self._store_hits += 1
                 return entry
         return None
 
@@ -275,7 +311,7 @@ class SimulationCache:
             if entry.result is not None:
                 self._put(self._results, key, entry.result)
             self._put(self._entries, key + (description,), entry)
-            self.misses += 1
+            self._misses += 1
         if self.store is not None:
             self.store.save_entry(key + (description,), entry)
             if entry.result is not None:
@@ -283,14 +319,18 @@ class SimulationCache:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._results)
+        with self._lock:
+            return len(self._results)
 
     def stats(self) -> Dict[str, int]:
-        return {"results": len(self._results),
-                "derived_entries": len(self._entries),
-                "traces": len(self._traces),
-                "hits": self.hits, "misses": self.misses,
-                "store_hits": self.store_hits}
+        """One consistent snapshot of sizes and counters, taken under the
+        lock (concurrent serving threads otherwise race the increments)."""
+        with self._lock:
+            return {"results": len(self._results),
+                    "derived_entries": len(self._entries),
+                    "traces": len(self._traces),
+                    "hits": self._hits, "misses": self._misses,
+                    "store_hits": self._store_hits}
 
     def clear(self) -> None:
         """Drop the in-memory maps and counters (the on-disk store, if any,
@@ -299,9 +339,9 @@ class SimulationCache:
             self._results.clear()
             self._entries.clear()
             self._traces.clear()
-            self.hits = 0
-            self.misses = 0
-            self.store_hits = 0
+            self._hits = 0
+            self._misses = 0
+            self._store_hits = 0
 
 
 #: default process-wide cache shared by every session.
@@ -313,6 +353,11 @@ SIMULATION_CACHE = SimulationCache()
 # ----------------------------------------------------------------------
 class CacheMind:
     """End-to-end session: workloads + policies + backend -> answers."""
+
+    #: answer-history bound: a long-running serving session answers
+    #: indefinitely, and Answer objects (evidence lists, extras) are large
+    #: enough that an unbounded list would grow for the server's lifetime.
+    MAX_HISTORY = 1024
 
     def __init__(self,
                  workloads: Sequence[str] = DEFAULT_WORKLOADS,
@@ -383,6 +428,15 @@ class CacheMind:
         if isinstance(retriever, str):
             resolve_retriever_name(retriever)
         self._forced_retriever = retriever
+        # The planner shares the session parser and routing function; its
+        # matrix_jobs() is the single source of truth for which simulations
+        # a database build (and therefore every plan) depends on.
+        self.planner = QueryPlanner(
+            parser=self.parser, router=self.route,
+            workloads=self.workloads, policies=self.policies,
+            num_accesses=self.num_accesses, seed=self.seed,
+            config_name=self.config.name, mode=self.mode,
+            forced_retriever=self._forced_retriever)
         self._database: Optional[TraceDatabase] = None
         self._retrievers: Dict[str, Retriever] = {}
 
@@ -397,28 +451,60 @@ class CacheMind:
         return self._database
 
     def _build_database(self) -> TraceDatabase:
+        return self._database_from_jobs(self.planner.matrix_jobs())
+
+    def _database_from_jobs(self,
+                            planned: Sequence[PlannedJob]) -> TraceDatabase:
+        """Execute ``planned`` and assemble the entries into a database."""
         database = TraceDatabase(config=self.config)
+        for entry in self._execute_planned_jobs(planned):
+            database.install_entry(entry)
+        self.database_builds += 1
+        return database
+
+    def _execute_planned_jobs(
+            self, planned: Sequence[PlannedJob]) -> List[TraceEntry]:
+        """Run every planned job through the memoiser, in plan order.
+
+        This is the single execution path under both the legacy database
+        build and the plan/execute serving API: serial runs flow through
+        :meth:`SimulationCache.get_entry`, and with ``jobs > 1`` only the
+        cache misses fan out to :class:`ParallelSimulator` workers before
+        the returned entries land back in the shared memoiser — parallelism
+        and memoisation compose (a second session re-simulates nothing).
+        """
         engine = SimulationEngine(config=self.config, mode=self.mode,
                                   max_records=self.max_records)
-        pending: List[Tuple[MemoryTrace, str, str]] = []
-        for workload in self.workloads:
+        entries: Dict[tuple, TraceEntry] = {}
+        pending: List[Tuple[PlannedJob, MemoryTrace, str]] = []
+        dispatched = set()
+        for job in planned:
+            # Duplicate keys execute once even when the caller skipped
+            # merge_jobs (covers completed entries and still-pending ones).
+            if job.key in entries or job.key in dispatched:
+                continue
+            dispatched.add(job.key)
+            if (job.config_name != self.config.name
+                    or job.mode != self.mode):
+                # Executing a foreign-config job under this session's engine
+                # would silently produce results for the wrong hierarchy.
+                raise ValueError(
+                    f"planned job {job!r} targets config/mode "
+                    f"({job.config_name!r}, {job.mode!r}); this session runs "
+                    f"({self.config.name!r}, {self.mode!r})")
             trace, description = self.simulation_cache.get_trace(
-                workload, self.num_accesses, self.seed)
-            for policy in self.policies:
-                if self.jobs > 1:
-                    entry = self.simulation_cache.peek_entry(
-                        engine, trace, policy, description=description)
-                    if entry is None:
-                        pending.append((trace, description, policy))
-                        continue
-                else:
-                    entry = self.simulation_cache.get_entry(
-                        engine, trace, policy, description=description)
-                database.install_entry(entry)
+                job.workload, job.num_accesses, job.seed)
+            if self.jobs > 1:
+                entry = self.simulation_cache.peek_entry(
+                    engine, trace, job.policy, description=description)
+                if entry is None:
+                    pending.append((job, trace, description))
+                    continue
+            else:
+                entry = self.simulation_cache.get_entry(
+                    engine, trace, job.policy, description=description)
+            entries[job.key] = entry
         if pending:
-            # Fan only the cache misses out to workers, then install the
-            # returned entries into the shared memoiser: parallelism and
-            # memoisation compose (a second session re-simulates nothing).
             simulator = ParallelSimulator(
                 jobs=self.jobs, executor=self.executor, config=self.config,
                 mode=self.mode, max_records=self.max_records)
@@ -427,18 +513,17 @@ class CacheMind:
             # process-independent — which keeps the pickled payload to a few
             # strings per job instead of one full trace copy per policy.
             simulation_jobs = [
-                SimulationJob(workload=trace.workload, policy=policy,
-                              num_accesses=self.num_accesses, seed=self.seed,
+                SimulationJob(workload=trace.workload, policy=job.policy,
+                              num_accesses=job.num_accesses, seed=job.seed,
                               description=description)
-                for trace, description, policy in pending
+                for job, trace, description in pending
             ]
-            for (trace, description, policy), entry in zip(
+            for (job, trace, description), entry in zip(
                     pending, simulator.run_entries(simulation_jobs)):
-                self.simulation_cache.put_entry(engine, trace, policy,
+                self.simulation_cache.put_entry(engine, trace, job.policy,
                                                 description, entry)
-                database.install_entry(entry)
-        self.database_builds += 1
-        return database
+                entries[job.key] = entry
+        return [entries[job.key] for job in planned]
 
     def simulate(self, workload: str, policy: str) -> SimulationResult:
         """One memoised simulation run (shares the session's cache)."""
@@ -475,32 +560,155 @@ class CacheMind:
         return self._retrievers[name]
 
     # ------------------------------------------------------------------
-    # asking questions
+    # asking questions: request -> plan -> execute -> response
     # ------------------------------------------------------------------
+    def plan(self, request_or_question: Union[str, AskRequest]) -> QueryPlan:
+        """Plan one request without executing anything (pure description)."""
+        return self.planner.plan(request_or_question)
+
     def ask(self, question: str,
             retriever: Union[str, Retriever, None] = None) -> Answer:
-        """Answer one natural-language question with provenance."""
-        intent = self.parser.parse(question)
-        # `is None` rather than truthiness: an explicit '' is a configuration
-        # error and must surface as UnknownNameError, not silent routing.
-        chosen = retriever if retriever is not None else self._forced_retriever
-        if chosen is None:
-            chosen = self.route(intent)
-        selected = self.retriever(chosen)
-        context = selected.retrieve(intent)
-        memory_block = self.memory.context_block(question) if len(self.memory) else ""
-        answer = self.generator.generate(intent, context, memory_block=memory_block)
-        self.memory.add_turn("user", question)
-        self.memory.add_turn("assistant", answer.text,
-                             metadata={"category": answer.category})
-        self.history.append(answer)
-        return answer
+        """Answer one natural-language question with provenance.
+
+        Thin wrapper over the plan/execute path (:meth:`ask_request`); the
+        returned :class:`Answer` is byte-identical to what the serving
+        layers produce for the same question.
+        """
+        return self.ask_request(
+            AskRequest(question=question, retriever=retriever)).answer
 
     def ask_many(self, questions: Iterable[str],
                  retriever: Union[str, Retriever, None] = None) -> List[Answer]:
         """Answer a batch of questions over one shared database build."""
-        _ = self.database  # force the single build up front
-        return [self.ask(question, retriever=retriever) for question in questions]
+        requests = [as_request(question, retriever=retriever)
+                    for question in questions]
+        return [response.answer
+                for response in self.ask_request_many(requests)]
+
+    def ask_request(self,
+                    request: Union[str, AskRequest]) -> AskResponse:
+        """Plan and execute one request; returns the full response envelope
+        (answer + route + job/dedup counts + per-stage timings)."""
+        return self.ask_request_many([as_request(request)])[0]
+
+    def ask_request_many(self, requests: Sequence[Union[str, AskRequest]]
+                         ) -> List[AskResponse]:
+        """The batched serving path: plan everything, merge duplicate
+        simulation jobs, execute once, then generate every answer."""
+        plans: List[QueryPlan] = []
+        plan_seconds: List[float] = []
+        for request in requests:
+            started = time.perf_counter()
+            plans.append(self.planner.plan(as_request(request)))
+            plan_seconds.append(time.perf_counter() - started)
+        return self.execute_many(plans, plan_seconds=plan_seconds)
+
+    def execute(self, plan: QueryPlan) -> AskResponse:
+        """Execute one previously built plan."""
+        return self.execute_many([plan])[0]
+
+    def execute_many(self, plans: Sequence[QueryPlan],
+                     plan_seconds: Optional[Sequence[float]] = None
+                     ) -> List[AskResponse]:
+        """Execute a batch of plans over one shared simulation pass.
+
+        The batch's job sets are merged first
+        (:meth:`QueryPlanner.merge_jobs`), so duplicate ``(workload,
+        policy, config, detail)`` jobs simulate exactly once regardless of
+        how many plans name them; the merged set is dispatched through the
+        existing :class:`ParallelSimulator`/store machinery before any
+        answer is generated.  Answers are then produced sequentially in
+        plan order (conversation memory is order-sensitive).
+        """
+        merged = self.planner.merge_jobs(plans)
+        simulate_started = time.perf_counter()
+        misses_before = self.simulation_cache.stats()["misses"]
+        if plans:
+            if self._database is None:
+                matrix_keys = {job.key for job in self.planner.matrix_jobs()}
+                if {job.key for job in merged} >= matrix_keys:
+                    # The common case: the merged batch covers the session
+                    # matrix, so executing it IS the database build.
+                    self._database = self._database_from_jobs(merged)
+                else:
+                    # Hand-built plans with a narrower job set: honour
+                    # their jobs first, then complete the database
+                    # (already-executed jobs are cache hits, never
+                    # re-simulated).
+                    self._execute_planned_jobs(merged)
+                    _ = self.database
+            else:
+                # Warm session: the batch's jobs must still be honoured —
+                # planner-emitted jobs are all memoiser hits (cheap
+                # lookups), but a hand-built plan naming an unexecuted or
+                # foreign-config job runs (or raises) here exactly like it
+                # would on a cold session.
+                self._execute_planned_jobs(merged)
+        simulate_seconds = time.perf_counter() - simulate_started
+        simulations = self.simulation_cache.stats()["misses"] - misses_before
+        duplicates = sum(len(plan.jobs) for plan in plans) - len(merged)
+        # The simulation pass is shared by the whole batch: each response
+        # carries its amortised share as "simulate" (so per-request totals
+        # sum to the wall time and latency percentiles stay honest) and the
+        # full batch cost as "batch_simulate".
+        simulate_share = simulate_seconds / len(plans) if plans else 0.0
+        responses = []
+        for index, plan in enumerate(plans):
+            planned_seconds = (plan_seconds[index]
+                               if plan_seconds is not None else 0.0)
+            responses.append(self._respond(
+                plan, plan_seconds=planned_seconds,
+                simulate_seconds=simulate_share,
+                batch_simulate_seconds=simulate_seconds,
+                batch_unique_jobs=len(merged),
+                batch_duplicate_jobs=duplicates,
+                simulations_run=simulations))
+        return responses
+
+    def _respond(self, plan: QueryPlan, *, plan_seconds: float,
+                 simulate_seconds: float, batch_simulate_seconds: float,
+                 batch_unique_jobs: int, batch_duplicate_jobs: int,
+                 simulations_run: int) -> AskResponse:
+        """Retrieve + generate for one executed plan (the legacy ``ask``
+        body, emitting the response envelope)."""
+        generate_started = time.perf_counter()
+        selected = self.retriever(plan.retriever_instance
+                                  if plan.retriever_instance is not None
+                                  else plan.route)
+        context = selected.retrieve(plan.intent)
+        retrieve_seconds = time.perf_counter() - generate_started
+        question = plan.request.question
+        memory_block = (self.memory.context_block(question)
+                        if len(self.memory) else "")
+        answer = self.generator.generate(plan.intent, context,
+                                         memory_block=memory_block)
+        self.memory.add_turn("user", question)
+        self.memory.add_turn("assistant", answer.text,
+                             metadata={"category": answer.category})
+        self.history.append(answer)
+        if len(self.history) > self.MAX_HISTORY:
+            del self.history[: len(self.history) - self.MAX_HISTORY]
+        generate_seconds = (time.perf_counter() - generate_started
+                            - retrieve_seconds)
+        return AskResponse(
+            answer=answer,
+            request_id=plan.request.request_id,
+            route=plan.route,
+            question_type=plan.intent.question_type,
+            intent=plan.intent.describe(),
+            planned_jobs=len(plan.jobs),
+            batch_unique_jobs=batch_unique_jobs,
+            batch_duplicate_jobs=batch_duplicate_jobs,
+            simulations_run=simulations_run,
+            timings={
+                "plan": plan_seconds,
+                "simulate": simulate_seconds,
+                "batch_simulate": batch_simulate_seconds,
+                "retrieve": retrieve_seconds,
+                "generate": generate_seconds,
+                "total": (plan_seconds + simulate_seconds + retrieve_seconds
+                          + generate_seconds),
+            })
 
     # ------------------------------------------------------------------
     # batch analytics

@@ -28,14 +28,26 @@ class MemoryItem:
 
 
 class ConversationMemory:
-    """Sliding-buffer + summary + vector-store conversation memory."""
+    """Sliding-buffer + summary + vector-store conversation memory.
+
+    ``max_items`` bounds the vector store and ``max_summaries`` the summary
+    list (oldest dropped first): a long-running serving session
+    (``repro.serve``) records two turns per request, so without a bound the
+    vector store — and the per-request recall scan over it — would grow for
+    the life of the server.
+    """
 
     def __init__(self, buffer_size: int = 8, summary_chunk: int = 8,
-                 embedder: Optional[HashingEmbedder] = None):
+                 embedder: Optional[HashingEmbedder] = None,
+                 max_items: int = 4096, max_summaries: int = 64):
         if buffer_size <= 0:
             raise ValueError("buffer_size must be positive")
+        if max_items <= 0 or max_summaries <= 0:
+            raise ValueError("max_items and max_summaries must be positive")
         self.buffer_size = buffer_size
         self.summary_chunk = summary_chunk
+        self.max_items = max_items
+        self.max_summaries = max_summaries
         self.embedder = embedder if embedder is not None else HashingEmbedder()
         self._turn = 0
         self._buffer: List[MemoryItem] = []
@@ -72,6 +84,10 @@ class ConversationMemory:
     def _index(self, item: MemoryItem) -> None:
         self._vectors.append(self.embedder.embed(item.text))
         self._vector_items.append(item)
+        if len(self._vectors) > self.max_items:
+            overflow = len(self._vectors) - self.max_items
+            del self._vectors[:overflow]
+            del self._vector_items[:overflow]
 
     def _summarise_overflow(self) -> None:
         """Collapse evicted turns into a compact summary line."""
@@ -86,6 +102,8 @@ class ConversationMemory:
             summary_parts.append("found: " + "; ".join(findings[:4]))
         summary = "Earlier in this session the user " + " | ".join(summary_parts)
         self._summaries.append(summary)
+        if len(self._summaries) > self.max_summaries:
+            del self._summaries[: len(self._summaries) - self.max_summaries]
         self._overflow = []
 
     # ------------------------------------------------------------------

@@ -8,6 +8,8 @@ The suite times, on the bundled workloads:
 * cold-vs-warm *session* starts through the persistent on-disk store
   (``store_warm_start``: a fresh memoiser loading every entry from disk
   instead of simulating),
+* the serving path (``serving``: batch-ask throughput and p50/p95 request
+  latency through a warm :class:`~repro.serve.service.CacheMindService`),
 
 and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
 revisions, so consecutive reports are directly comparable.  ``--quick``
@@ -221,6 +223,45 @@ def run_perf_suite(quick: bool = False,
     if cleanup_store:
         shutil.rmtree(store_path, ignore_errors=True)
 
+    # --- serving: batch-ask throughput and latency percentiles -----------
+    # In-process service (no sockets: CI sandboxes and the numbers should
+    # measure the serving path, not loopback TCP).  The question mix
+    # repeats each (workload, policy) pair, so the batch also exercises
+    # plan-level simulation dedup; the session is warmed first so latency
+    # measures steady-state serving, not the one-off database build.
+    from repro.serve.service import CacheMindService
+
+    service = CacheMindService(session=CacheMind(
+        simulation_cache=SimulationCache(), **session_kwargs))
+    service.warm_up()
+    questions = []
+    for workload in workloads:
+        for policy in policies:
+            questions.append(f"What is the miss rate of {policy} "
+                             f"on {workload}?")
+            questions.append(f"How many accesses are there in {workload} "
+                             f"under {policy}?")
+        questions.append(f"Which policy has the lowest miss rate "
+                         f"on {workload}?")
+    serving_timing = _measure(
+        "serving/batch_ask",
+        lambda: service.ask_batch(questions),
+        repeats, questions=len(questions))
+    service_stats = service.stats()
+    serving_timing.meta["latency_ms"] = dict(service_stats["latency_ms"])
+    timings.append(serving_timing)
+    serving_qps = (len(questions) / serving_timing.seconds
+                   if serving_timing.seconds > 0 else None)
+    serving = {
+        "questions_per_batch": len(questions),
+        "batch_seconds": serving_timing.seconds,
+        "throughput_qps": serving_qps,
+        "latency_ms": dict(service_stats["latency_ms"]),
+        "requests": service_stats["requests"],
+        "errors": service_stats["errors"],
+    }
+    service.close()
+
     # --- derived summary -------------------------------------------------
     speedup_values = sorted(replay_speedups.values())
     derived: Dict[str, object] = {
@@ -232,6 +273,9 @@ def run_perf_suite(quick: bool = False,
                                if warm.seconds > 0 else None),
         "store_warm_speedup": (cold.seconds / store_warm.seconds
                                if store_warm.seconds > 0 else None),
+        "serving_qps": serving_qps,
+        "serving_p50_ms": serving["latency_ms"]["p50"],
+        "serving_p95_ms": serving["latency_ms"]["p95"],
     }
     if parallel is not None:
         derived["parallel_build_speedup"] = (
@@ -270,6 +314,7 @@ def run_perf_suite(quick: bool = False,
         "timings": [asdict(timing) for timing in timings],
         "derived": derived,
         "store_warm_start": store_warm_start,
+        "serving": serving,
     }
 
 
@@ -314,4 +359,12 @@ def format_report(report: Dict[str, object]) -> str:
             f"{store_section['speedup']:.1f}x "
             f"({store_section['store_records']} records, "
             f"{'zero simulations' if store_section['zero_simulations'] else 'RE-SIMULATED'})")
+    serving_section = report.get("serving")
+    if serving_section and serving_section.get("throughput_qps") is not None:
+        latency = serving_section["latency_ms"]
+        lines.append(
+            f"  serving: {serving_section['throughput_qps']:.0f} questions/s "
+            f"({serving_section['questions_per_batch']} per batch), "
+            f"latency p50 {latency['p50']:.2f} ms / "
+            f"p95 {latency['p95']:.2f} ms")
     return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Serving subsystem: one shared CacheMind session behind a concurrent API.
+
+Architecture
+------------
+
+The serving stack is three thin layers over the request/plan/execute core
+API (``repro.core.plan``), each adding exactly one capability::
+
+    AskRequest ──► CacheMindService ──► CacheMindServer ──► RemoteClient
+                   (thread-safe,         (JSON-lines TCP,     (wire client,
+                    metrics, asyncio)     one thread/conn)     repro ask --remote)
+
+* :class:`~repro.serve.service.CacheMindService` wraps **one** shared
+  :class:`~repro.core.pipeline.CacheMind` session and makes it safe to call
+  from many threads: planning happens outside the session lock (the planner
+  is stateless per call), while execution — database build, retrieval,
+  generation, conversation memory — is serialised under an ``RLock``.  The
+  heavyweight work (simulation) is memoised process-wide and shared across
+  requests, so the serialised section is the lightweight generation tail.
+  The service also keeps serving telemetry: request/error counters, QPS,
+  latency percentiles (p50/p95/p99 over a sliding window) and the
+  simulation-cache/store hit deltas since startup.  ``await
+  service.ask_async(...)`` adapts the same path to ``asyncio`` (requests
+  run on a private thread pool and are freely ``gather``-able).
+
+* :class:`~repro.serve.server.CacheMindServer` exposes the service over a
+  stdlib-only **JSON-lines TCP protocol**: one JSON object per line in,
+  one JSON object per line out, many requests per connection, one thread
+  per connection (``socketserver.ThreadingTCPServer``).  Because every
+  handler funnels into the same service, concurrent remote clients get
+  the same answers, byte-for-byte, as in-process callers.
+
+* :class:`~repro.serve.client.RemoteClient` is the matching client used by
+  ``python -m repro ask --remote HOST:PORT``; it speaks the same protocol
+  and rebuilds :class:`~repro.core.answer.AskResponse` objects from the
+  wire.
+
+Wire protocol (newline-delimited JSON)::
+
+    → {"op": "ask", "question": "...", "retriever": null, "id": "r1"}
+    ← {"ok": true, "result": {"answer": {...}, "timings": {...}, ...}}
+    → {"op": "batch", "questions": ["...", "..."]}
+    ← {"ok": true, "result": [{...}, {...}]}
+    → {"op": "stats"}   /   {"op": "ping"}
+    ← {"ok": true, "result": {...}}
+
+Errors never kill the connection: a malformed line or unknown op yields
+``{"ok": false, "error": "..."}`` and the handler keeps reading.
+"""
+
+from repro.serve.client import RemoteClient, parse_address
+from repro.serve.server import CacheMindServer
+from repro.serve.service import CacheMindService
+
+__all__ = [
+    "CacheMindService",
+    "CacheMindServer",
+    "RemoteClient",
+    "parse_address",
+]

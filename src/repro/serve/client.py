@@ -1,0 +1,169 @@
+"""Client for the CacheMind JSON-lines server (``repro ask --remote``).
+
+One persistent TCP connection per client; requests are one JSON object per
+line and responses come back in order, so a client can pipeline.  The
+client rebuilds :class:`~repro.core.answer.AskResponse` objects from the
+wire, so remote callers consume exactly the in-process response type.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.answer import AskResponse
+
+
+class RemoteError(RuntimeError):
+    """The server answered ``{"ok": false, ...}`` for a request."""
+
+
+def parse_address(address: str,
+                  default_port: int = 9178) -> Tuple[str, int]:
+    """Split ``"host:port"`` (port optional) into ``(host, port)``."""
+    if not address:
+        raise ValueError("empty server address")
+    host, _, port_text = address.rpartition(":")
+    if not host:
+        return address, default_port
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise ValueError(f"malformed server address {address!r}; "
+                         f"expected HOST or HOST:PORT") from None
+
+
+class RemoteClient:
+    """Talk to a :class:`~repro.serve.server.CacheMindServer`.
+
+        >>> with RemoteClient("127.0.0.1", 9178) as client:
+        ...     response = client.ask("What is the miss rate of lru on astar?")
+        ...     print(response.answer)
+
+    The connection opens lazily on the first request and is reused; use the
+    context-manager form (or :meth:`close`) to release it.
+    """
+
+    def __init__(self, host: str, port: Optional[int] = None,
+                 timeout: float = 60.0):
+        if port is None:
+            host, port = parse_address(host)
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent); the next request reconnects."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Any:
+        """Send one raw protocol request; returns the ``result`` payload.
+
+        Raises :class:`RemoteError` on an ``ok: false`` reply and
+        ``ConnectionError`` when the server hangs up mid-request (the
+        connection is dropped so the next call reconnects cleanly).
+        """
+        self._connect()
+        try:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            line = self._reader.readline()
+        except OSError:
+            self.close()
+            raise
+        if not line:
+            self.close()
+            raise ConnectionError(
+                f"server at {self.host}:{self.port} closed the connection")
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            # A non-protocol peer: drop the connection rather than leave
+            # the rest of its reply buffered to desynchronize later calls.
+            self.close()
+            raise
+        if not reply.get("ok"):
+            raise RemoteError(reply.get("error", "unknown server error"))
+        return reply.get("result")
+
+    # ------------------------------------------------------------------
+    # high-level API (mirrors CacheMindService)
+    # ------------------------------------------------------------------
+    def ask(self, question: str, retriever: Optional[str] = None,
+            request_id: str = "") -> AskResponse:
+        """Ask one question; returns the rebuilt :class:`AskResponse`."""
+        result = self.request({"op": "ask", "question": question,
+                               "retriever": retriever, "id": request_id})
+        return AskResponse.from_dict(result)
+
+    def ask_batch(self, questions: Sequence[str],
+                  retriever: Optional[str] = None) -> List[AskResponse]:
+        """Ask a batch in one round trip (server-side job dedup applies)."""
+        result = self.request({"op": "batch", "questions": list(questions),
+                               "retriever": retriever})
+        return [AskResponse.from_dict(item) for item in result]
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's serving-telemetry snapshot."""
+        return self.request({"op": "stats"})
+
+    def ping(self) -> bool:
+        """Whether the server answers the protocol ping."""
+        try:
+            result = self.request({"op": "ping"})
+        except (OSError, ValueError, RemoteError):
+            return False
+        return bool(result and result.get("pong"))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wait_ready(host: str, port: Optional[int] = None,
+                   timeout: float = 30.0, interval: float = 0.1) -> bool:
+        """Poll until a server accepts and answers ping (startup helper).
+
+        Each attempt uses a fresh connection, so this works while the
+        server is still binding.  Returns True once ready; False on
+        timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                with RemoteClient(host, port, timeout=interval + 1.0) as probe:
+                    if probe.ping():
+                        return True
+            except OSError:
+                pass
+            time.sleep(interval)
+        return False

@@ -1,0 +1,199 @@
+"""Stdlib-only concurrent JSON-lines TCP server over a CacheMindService.
+
+Protocol: newline-delimited JSON, many requests per connection, one thread
+per connection (see the :mod:`repro.serve` package docstring for the full
+request/response shapes).  All handlers funnel into one shared
+:class:`~repro.serve.service.CacheMindService`, so remote answers are
+byte-identical to in-process ones.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import UnknownNameError
+from repro.serve.service import CacheMindService
+
+#: protocol-level cap on one request line; a malformed client streaming an
+#: unterminated line must not buffer unbounded memory server-side.
+MAX_LINE_BYTES = 1 << 20
+
+
+class _AskRequestHandler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines until EOF, answer each in order.
+
+    ``self.server`` is the :class:`_ThreadingTCPServer`, which carries a
+    ``dispatch_line`` callback back into the owning :class:`CacheMindServer`.
+    """
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if not line:
+                return
+            if len(line) > MAX_LINE_BYTES:
+                self._reply({"ok": False,
+                             "error": f"request line exceeds "
+                                      f"{MAX_LINE_BYTES} bytes"})
+                return
+            if not line.strip():
+                continue
+            self._reply(self.server.dispatch_line(line))
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    # daemon_threads: an open (idle) client connection must never block
+    # server shutdown or process exit; allow_reuse_address: restarts bind
+    # immediately instead of waiting out TIME_WAIT.
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class CacheMindServer:
+    """Serve a :class:`CacheMindService` over newline-delimited JSON/TCP.
+
+        >>> server = CacheMindServer(service, host="127.0.0.1", port=0)
+        >>> host, port = server.address          # port resolved after bind
+        >>> server.start()                       # background thread
+        ...
+        >>> server.close()
+
+    ``serve_forever()`` runs in the calling thread (the CLI path);
+    ``start()`` spawns a daemon thread (tests, embedding into another
+    application).  Both are stopped by :meth:`close`.
+    """
+
+    def __init__(self, service: CacheMindService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._tcp = _ThreadingTCPServer((host, port), _AskRequestHandler)
+        # Hand the handler a route back to dispatch via the server object.
+        self._tcp.dispatch_line = self.dispatch_line  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._lifecycle_lock = threading.Lock()
+        self._serving = threading.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (the real port when created with 0)."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # request dispatch (transport-independent, also used by tests)
+    # ------------------------------------------------------------------
+    def dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        """Decode one request line and produce the response payload."""
+        try:
+            payload = json.loads(line)
+        except (ValueError, UnicodeDecodeError) as error:
+            return {"ok": False, "error": f"malformed JSON request: {error}"}
+        if not isinstance(payload, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        try:
+            return {"ok": True, "result": self._dispatch(payload)}
+        except (UnknownNameError, ValueError, TypeError, KeyError) as error:
+            # Configuration/validation errors belong to the client; the
+            # connection (and server) stay up.
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        except Exception as error:  # noqa: BLE001 — protocol contract
+            # The documented contract is that errors never kill the
+            # connection: an unexpected service failure must still produce
+            # an {"ok": false} reply rather than a silent hangup.
+            return {"ok": False,
+                    "error": f"internal error: {type(error).__name__}: "
+                             f"{error}"}
+
+    def _dispatch(self, payload: Dict[str, Any]) -> Any:
+        op = payload.get("op", "ask")
+        if op == "ping":
+            return {"pong": True, "server": "cachemind"}
+        if op == "stats":
+            return self.service.stats()
+        if op == "ask":
+            question = payload.get("question")
+            if not isinstance(question, str) or not question.strip():
+                raise ValueError("'ask' needs a non-empty 'question' string")
+            response = self.service.ask_batch([_request(payload, question)])[0]
+            return _with_server_meta(response.to_dict())
+        if op == "batch":
+            questions = payload.get("questions")
+            if (not isinstance(questions, list) or not questions
+                    or not all(isinstance(question, str)
+                               for question in questions)):
+                raise ValueError("'batch' needs a non-empty 'questions' "
+                                 "list of strings")
+            retriever = payload.get("retriever")
+            if retriever is not None and not isinstance(retriever, str):
+                raise ValueError("'retriever' must be a registered name "
+                                 "string")
+            responses = self.service.ask_batch(questions,
+                                               retriever=retriever)
+            return [_with_server_meta(response.to_dict())
+                    for response in responses]
+        raise ValueError(f"unknown op {op!r}; "
+                         f"supported: ask, batch, stats, ping")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve in the calling thread until :meth:`close` (CLI path)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._serving.set()
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "CacheMindServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="cachemind-server",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent, and safe on a
+        server that never started serving — ``BaseServer.shutdown`` would
+        otherwise wait forever on an event only ``serve_forever`` sets)."""
+        with self._lifecycle_lock:
+            self._closed = True
+            started = self._serving.is_set()
+        if started:
+            self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CacheMindServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _request(payload: Dict[str, Any], question: str):
+    from repro.core.plan import AskRequest
+    retriever = payload.get("retriever")
+    if retriever is not None and not isinstance(retriever, str):
+        raise ValueError("'retriever' must be a registered name string")
+    request_id = payload.get("id") or payload.get("request_id") or ""
+    return AskRequest(question=question, retriever=retriever,
+                      request_id=str(request_id))
+
+
+def _with_server_meta(response_dict: Dict[str, Any]) -> Dict[str, Any]:
+    response_dict["server"] = {"transport": "json-lines/tcp"}
+    return response_dict

@@ -57,6 +57,17 @@ class SimulationJob:
     description: str = ""
     trace: Optional[MemoryTrace] = None
 
+    def key(self) -> tuple:
+        """Identity for dedup: two jobs with equal keys produce identical
+        outputs.  A supplied trace is identified by its content fingerprint
+        (buffer-hashed, cheap) rather than object identity, so equal traces
+        merge; the description participates because entry derivation embeds
+        it in the result."""
+        trace_identity = (None if self.trace is None
+                          else self.trace.fingerprint())
+        return (self.workload, self.policy, self.num_accesses, self.seed,
+                self.description, trace_identity)
+
 
 def _execute_job(payload: tuple):
     """Top-level worker (must be importable for process pools)."""
@@ -123,6 +134,24 @@ class ParallelSimulator:
                  want_entry) for job in jobs]
 
     def _map(self, jobs: Sequence[SimulationJob], want_entry: bool) -> list:
+        # Duplicate jobs (batched serving plans that missed a merge) run
+        # once: simulate the unique key set, then fan results back out to
+        # every submission slot.  The shared object is safe to alias —
+        # results/entries are treated as immutable across the codebase.
+        unique_index: dict = {}
+        unique_jobs: List[SimulationJob] = []
+        slots: List[int] = []
+        for job in jobs:
+            key = job.key()
+            if key not in unique_index:
+                unique_index[key] = len(unique_jobs)
+                unique_jobs.append(job)
+            slots.append(unique_index[key])
+        unique_results = self._map_unique(unique_jobs, want_entry)
+        return [unique_results[slot] for slot in slots]
+
+    def _map_unique(self, jobs: Sequence[SimulationJob],
+                    want_entry: bool) -> list:
         payloads = self._payloads(jobs, want_entry)
         workers = min(self.jobs, len(payloads)) or 1
         if workers <= 1 or self.executor == "serial":

@@ -33,6 +33,29 @@ def test_ask_runs(capsys):
     assert "retriever=sieve" in out
 
 
+def test_ask_json_prints_full_response(capsys):
+    import json
+
+    code = main(["ask", *COMMON, "--json",
+                 "What is the miss rate of lru on astar?"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["question_type"] == "miss_rate"
+    assert payload["route"] == "sieve"
+    assert payload["answer"]["grounded"] is True
+    assert payload["answer"]["value"] == pytest.approx(payload["answer"]["value"])
+    assert set(payload["timings"]) == {"plan", "simulate", "batch_simulate",
+                                       "retrieve", "generate", "total"}
+    assert payload["batch_unique_jobs"] == 2  # 1 workload x 2 policies
+
+
+def test_ask_remote_unreachable_fails_cleanly(capsys):
+    code = main(["ask", "--remote", "127.0.0.1:1",
+                 "What is the miss rate of lru on astar?"])
+    assert code == 1
+    assert "remote ask failed" in capsys.readouterr().err
+
+
 def test_bench_runs(capsys):
     code = main(["bench", *COMMON])
     assert code == 0

@@ -40,6 +40,20 @@ def test_run_perf_suite_report_shape():
     assert store_section["store_records"] >= 1
 
 
+def test_run_perf_suite_serving_section():
+    report = run_perf_suite(**SUITE_KWARGS)
+    names = [timing["name"] for timing in report["timings"]]
+    assert "serving/batch_ask" in names
+    serving = report["serving"]
+    assert serving["questions_per_batch"] >= 1
+    assert serving["throughput_qps"] > 0
+    assert serving["errors"] == 0
+    assert serving["latency_ms"]["p95"] >= serving["latency_ms"]["p50"] >= 0
+    derived = report["derived"]
+    assert derived["serving_qps"] == serving["throughput_qps"]
+    assert "serving:" in format_report(report)
+
+
 def test_run_perf_suite_keeps_named_store_dir(tmp_path):
     store_dir = str(tmp_path / "bench_store")
     report = run_perf_suite(store_dir=store_dir, **SUITE_KWARGS)
