@@ -17,17 +17,24 @@ Layer stack (each importable as ``repro.<layer>``):
   (registry-driven),
 * :mod:`repro.llm`       -- simulated LLM backends (registry-driven),
 * :mod:`repro.core`      -- query parsing, answer generation, the
-  request/plan/execute API and the :class:`CacheMind` facade tying all of
-  the above together,
+  request/plan/execute API, the declarative experiment API
+  (:class:`ExperimentSpec` sweep grids compiled to merged job plans) and
+  the :class:`CacheMind` facade tying all of the above together,
 * :mod:`repro.serve`     -- the serving subsystem: the thread-safe
   :class:`CacheMindService`, the concurrent JSON-lines
   :class:`CacheMindServer` and the matching :class:`RemoteClient`.
 
-``python -m repro`` exposes the ``simulate``, ``ask``, ``bench``, ``store``
-and ``serve`` subcommands over the same facade.
+``python -m repro`` exposes the ``simulate``, ``ask``, ``bench``,
+``experiment``, ``store`` and ``serve`` subcommands over the same facade.
 """
 
 from repro.core.answer import Answer, AskResponse
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    run_experiment,
+)
 from repro.core.plan import AskRequest, QueryPlan, QueryPlanner
 from repro.core.pipeline import SIMULATION_CACHE, CacheMind, SimulationCache
 from repro.serve.client import RemoteClient
@@ -85,6 +92,11 @@ __all__ = [
     "CacheMindService",
     "CacheMindServer",
     "RemoteClient",
+    # declarative experiment API
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_experiment",
     # simulation
     "HierarchyConfig",
     "PAPER_CONFIG",

@@ -1,4 +1,5 @@
-"""Command-line interface: ``python -m repro {simulate,ask,bench,store,serve}``.
+"""Command-line interface:
+``python -m repro {simulate,ask,bench,experiment,store,serve}``.
 
 All subcommands drive the same :class:`~repro.core.pipeline.CacheMind`
 facade (and therefore share the process-wide simulation memoiser):
@@ -14,6 +15,11 @@ facade (and therefore share the process-wide simulation memoiser):
   print the per-workload, per-policy metric table with the winner per row,
   plus build timings and simulation-cache hit/miss counts.  ``bench --perf``
   runs the tracked benchmark harness instead and writes ``BENCH_<rev>.json``,
+* ``experiment`` -- declarative sweep grids (``run``/``report``): compile a
+  workloads x policies x configs x details x lengths x seeds grid into one
+  merged job plan, execute it (in-process, or server-side with
+  ``--remote``), print/persist the columnar cell table, and render saved
+  results as pivot tables,
 * ``store``    -- manage the persistent on-disk simulation store
   (``save``/``load``/``info``/``gc``), so repeated sessions and fresh
   processes start warm instead of re-simulating,
@@ -34,15 +40,21 @@ from repro.errors import StoreVersionError, UnknownNameError
 from repro.llm.backend import available_backend_names
 from repro.policies.base import available_policies
 from repro.retrieval.base import available_retrievers
-from repro.sim.config import PAPER_CONFIG, SMALL_CONFIG, TINY_CONFIG
+from repro.sim.config import NAMED_CONFIGS as CONFIGS
 from repro.tracedb.database import DEFAULT_POLICIES, DEFAULT_WORKLOADS
 from repro.workloads.generator import available_workloads
-
-CONFIGS = {"tiny": TINY_CONFIG, "small": SMALL_CONFIG, "paper": PAPER_CONFIG}
 
 
 def _csv(value: str) -> List[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _csv_int(value: str) -> List[int]:
+    try:
+        return [int(item) for item in _csv(value)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}") from None
 
 
 def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
@@ -145,6 +157,103 @@ def build_parser() -> argparse.ArgumentParser:
                             "artifact upload. WIPED and repopulated by the "
                             "benchmark — do not point it at a store you "
                             "want to keep (default: a temporary directory)")
+
+    experiment = subparsers.add_parser(
+        "experiment",
+        help="declarative sweep grids: compile, execute and report "
+             "workloads x policies x configs experiments")
+    experiment_sub = experiment.add_subparsers(dest="experiment_command",
+                                               required=True)
+
+    experiment_run = experiment_sub.add_parser(
+        "run",
+        help="compile a grid into one merged job plan and execute it",
+        description="Compile a workloads x policies x configs x details x "
+                    "trace-lengths x seeds grid into one deduplicated job "
+                    "plan, execute it (duplicate cells simulate once; warm "
+                    "store cells simulate zero times), and print the cell "
+                    "table.")
+    experiment_run.add_argument(
+        "--workloads", type=_csv, default=None,
+        help="comma-separated workload names "
+             f"(default: {','.join(DEFAULT_WORKLOADS)})")
+    experiment_run.add_argument(
+        "--policies", type=_csv, default=None,
+        help="comma-separated policy names "
+             f"(default: {','.join(DEFAULT_POLICIES)})")
+    experiment_run.add_argument(
+        "--configs", type=_csv, default=["small"],
+        help="comma-separated hierarchy configuration names; the grid "
+             "sweeps all of them (default: small; available: "
+             f"{','.join(sorted(CONFIGS))})")
+    experiment_run.add_argument(
+        "--mode", choices=["llc_only", "hierarchy"], default="llc_only",
+        help="simulation mode (default: llc_only)")
+    experiment_run.add_argument(
+        "--details", type=_csv, default=["full"],
+        help="engine detail levels to sweep: full,stats (default: full)")
+    experiment_run.add_argument(
+        "--accesses", type=_csv_int, default=[20000],
+        help="comma-separated trace lengths (default: 20000)")
+    experiment_run.add_argument(
+        "--seeds", type=_csv_int, default=[0],
+        help="comma-separated workload seeds (default: 0)")
+    experiment_run.add_argument(
+        "--metrics", type=_csv, default=["miss_rate", "hit_rate", "ipc"],
+        help="metrics to report (default: miss_rate,hit_rate,ipc)")
+    experiment_run.add_argument(
+        "--baseline", default=None, metavar="POLICY",
+        help="baseline policy: its cells join the grid (deduplicated if "
+             "already listed) and the report prints per-cell deltas")
+    experiment_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel simulation workers (default: 1)")
+    experiment_run.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent trace store: warm cells skip simulation across "
+             "processes, and the result is saved under the spec "
+             "fingerprint for `experiment report`")
+    experiment_run.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the ExperimentResult JSON here")
+    experiment_run.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full ExperimentResult dict as JSON instead of "
+             "the table")
+    experiment_run.add_argument(
+        "--remote", default=None, metavar="HOST:PORT",
+        help="run the grid on a running `repro serve` instance (one round "
+             "trip; cell values are identical to in-process execution)")
+    experiment_run.add_argument(
+        "--expect-warm", action="store_true",
+        help="exit non-zero if any simulation actually ran (CI warm-store "
+             "assertion)")
+
+    experiment_report = experiment_sub.add_parser(
+        "report",
+        help="render a saved ExperimentResult (JSON file or store)",
+        description="Render a saved experiment: pivot tables per metric, "
+                    "the best policy per cell, and deltas against the "
+                    "baseline policy when the spec named one.  Reads "
+                    "either an `experiment run --output` JSON file or a "
+                    "--store-dir (by --fingerprint; without one, lists "
+                    "every stored experiment).")
+    experiment_report.add_argument(
+        "path", nargs="?", default=None,
+        help="ExperimentResult JSON file (from `experiment run --output`)")
+    experiment_report.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="trace store holding saved experiments")
+    experiment_report.add_argument(
+        "--fingerprint", default=None,
+        help="spec fingerprint to load from the store (printed by "
+             "`experiment run`; prefixes are accepted when unambiguous)")
+    experiment_report.add_argument(
+        "--metric", default=None,
+        help="metric to tabulate (default: every metric in the spec)")
+    experiment_report.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full ExperimentResult dict as JSON")
 
     serve = subparsers.add_parser(
         "serve", help="serve questions over the JSON-lines TCP protocol")
@@ -348,6 +457,196 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.experiment_command == "run":
+        return _cmd_experiment_run(args)
+    return _cmd_experiment_report(args)
+
+
+def _build_experiment_spec(args: argparse.Namespace):
+    from repro.core.experiment import ExperimentSpec
+
+    return ExperimentSpec(
+        workloads=(args.workloads if args.workloads is not None
+                   else list(DEFAULT_WORKLOADS)),
+        policies=(args.policies if args.policies is not None
+                  else list(DEFAULT_POLICIES)),
+        configs=tuple(args.configs),
+        mode=args.mode,
+        details=tuple(args.details),
+        num_accesses=tuple(args.accesses),
+        seeds=tuple(args.seeds),
+        metrics=tuple(args.metrics),
+        baseline_policy=args.baseline,
+    )
+
+
+def _cell_axes_label(row) -> str:
+    """``axis=value`` labels for one derived-view row (every grid axis
+    except the policy the view singles out)."""
+    from repro.core.experiment import AXES
+
+    return " ".join(f"{axis}={row[axis]}" for axis in AXES
+                    if axis != "policy")
+
+
+def _print_experiment(result, metric: str = None) -> None:
+    print(result.summary())
+    counters = result.counters
+    execute = result.timings.get("execute", 0.0)
+    if execute > 0:
+        print(f"  {len(result) / execute:.1f} cells/s "
+              f"({counters.get('duplicate_jobs', 0)} duplicate cells "
+              f"merged before execution)")
+    metrics = [metric] if metric else list(result.spec.metrics)
+    for name in metrics:
+        print(result.format_table(name))
+    if result.spec.baseline_policy is not None:
+        baseline = result.spec.baseline_policy
+        lead = metrics[0]
+        print(f"delta vs baseline '{baseline}' ({lead}):")
+        for row in result.delta_vs_baseline(lead):
+            print(f"  {row['policy']:<10} {_cell_axes_label(row)}  "
+                  f"{row[lead]:.4f} vs {row['baseline']:.4f} "
+                  f"({row['delta']:+.4f})")
+
+
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    import json
+
+    spec = _build_experiment_spec(args)
+    if args.remote is not None:
+        # These flags configure in-process execution; silently ignoring
+        # them would strand e.g. a --store-dir the user expects to warm.
+        ignored = [flag for flag, value in (("--store-dir", args.store_dir),
+                                            ("--jobs", args.jobs))
+                   if value is not None]
+        if ignored:
+            print(f"error: {', '.join(ignored)} cannot be combined with "
+                  f"--remote (execution happens server-side, with the "
+                  f"server's store and workers)", file=sys.stderr)
+            return 2
+        from repro.serve.client import RemoteClient, RemoteError
+        try:
+            # Wide grids take a while server-side; allow them to finish.
+            with RemoteClient(args.remote, timeout=600.0) as client:
+                result = client.experiment(spec)
+        except (OSError, ValueError, RemoteError) as error:
+            print(f"error: remote experiment failed: {error}",
+                  file=sys.stderr)
+            return 1
+    else:
+        session = CacheMind(
+            workloads=spec.workloads, policies=spec.policies,
+            num_accesses=spec.num_accesses[0], config=spec.configs[0],
+            mode=spec.mode, seed=spec.seeds[0],
+            jobs=args.jobs if args.jobs is not None else 1,
+            store_dir=args.store_dir)
+        result = session.run_experiment(spec)
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_experiment(result)
+    if args.output is not None:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"error: cannot write {args.output!r}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"  result written to {args.output}")
+    simulations = result.counters.get("simulations_run", 0)
+    if args.expect_warm and simulations > 0:
+        print(f"error: expected a warm run but {simulations} simulation(s) "
+              f"ran", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_experiment_report(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.core.experiment import ExperimentResult
+    from repro.tracedb.store import TraceStore
+
+    if (args.path is None) == (args.store_dir is None):
+        print("error: pass an ExperimentResult JSON file or --store-dir "
+              "(not both)", file=sys.stderr)
+        return 2
+    if args.path is not None:
+        try:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            print(f"error: cannot read {args.path!r}: {error}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"error: {args.path!r} is not JSON: {error}",
+                  file=sys.stderr)
+            return 1
+        try:
+            result = ExperimentResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError, AttributeError) as error:
+            # Any JSON that is not to_dict()-shaped: wrong top-level type,
+            # missing config fields, ragged columns, ...
+            print(f"error: {args.path!r} is not an ExperimentResult JSON "
+                  f"file: {type(error).__name__}: {error}", file=sys.stderr)
+            return 1
+    else:
+        if not os.path.isdir(args.store_dir):
+            print(f"error: no trace store at {args.store_dir!r}",
+                  file=sys.stderr)
+            return 1
+        store = TraceStore(args.store_dir)
+        if args.fingerprint is None:
+            summaries = store.list_experiments()
+            if not summaries:
+                print(f"no stored experiments in {args.store_dir}")
+                return 0
+            print(f"{len(summaries)} stored experiment(s) in "
+                  f"{args.store_dir}:")
+            for summary in summaries:
+                spec = summary["spec"]
+                print(f"  {summary['fingerprint']}  "
+                      f"{summary['cells']} cells  "
+                      f"({len(spec.get('workloads', []))} workloads x "
+                      f"{len(spec.get('policies', []))} policies x "
+                      f"{len(spec.get('configs', []))} configs)")
+            print("re-run with --fingerprint to render one")
+            return 0
+        # Header-only scan: prefix resolution never decompresses payloads.
+        matches = [fingerprint
+                   for fingerprint in store.experiment_fingerprints()
+                   if fingerprint.startswith(args.fingerprint)]
+        if not matches:
+            print(f"error: no stored experiment matches "
+                  f"{args.fingerprint!r}", file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(f"error: fingerprint prefix {args.fingerprint!r} is "
+                  f"ambiguous ({len(matches)} matches)", file=sys.stderr)
+            return 1
+        result = ExperimentResult.load(store, matches[0])
+        if result is None:
+            print(f"error: stored experiment {matches[0]} is unreadable",
+                  file=sys.stderr)
+            return 1
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    _print_experiment(result, metric=args.metric)
+    metric_name = args.metric or result.spec.metrics[0]
+    print(f"best policy per cell ({metric_name}):")
+    for row in result.best_policy_per_cell(metric_name):
+        print(f"  {row['policy']:<10} {_cell_axes_label(row)}  "
+              f"{row[metric_name]:.4f}")
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     import os
 
@@ -365,6 +664,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"  schema version: {info['schema']}")
         print(f"  records: {info['records']} "
               f"({info['entries']} entries, {info['results']} results, "
+              f"{info['experiments']} experiments, "
               f"{info['unreadable']} unreadable)")
         print(f"  size: {info['total_bytes'] / 1024:.1f} KiB")
         return 0
@@ -443,6 +743,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "ask": _cmd_ask,
         "bench": _cmd_bench,
+        "experiment": _cmd_experiment,
         "store": _cmd_store,
         "serve": _cmd_serve,
     }[args.command]

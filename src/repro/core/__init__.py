@@ -8,6 +8,10 @@
   retrieved context into answers through the backend's skill checks,
 * :mod:`~repro.core.plan`     -- the request/plan/execute serving API
   (:class:`AskRequest`, :class:`QueryPlan`, :class:`QueryPlanner`),
+* :mod:`~repro.core.experiment` -- the declarative experiment API
+  (:class:`ExperimentSpec` grids compiled to merged job plans, the
+  :class:`ExperimentRunner` executor and the columnar
+  :class:`ExperimentResult` cell table),
 * :mod:`~repro.core.pipeline` -- the :class:`CacheMind` facade and the
   process-wide :class:`SimulationCache`.
 """
@@ -34,6 +38,14 @@ from repro.core.query import (
     QueryIntent,
     QueryParser,
 )
+from repro.core.experiment import (
+    ExperimentPlan,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    as_experiment_spec,
+    run_experiment,
+)
 from repro.core.generate import AnswerGenerator
 from repro.core.plan import (
     AskRequest,
@@ -41,6 +53,7 @@ from repro.core.plan import (
     QueryPlan,
     QueryPlanner,
     as_request,
+    merge_job_lists,
     merge_jobs,
 )
 from repro.core.pipeline import (
@@ -60,6 +73,13 @@ __all__ = [
     "QueryPlanner",
     "as_request",
     "merge_jobs",
+    "merge_job_lists",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "as_experiment_spec",
+    "run_experiment",
     "AnswerGenerator",
     "CacheMind",
     "SimulationCache",

@@ -41,6 +41,14 @@ from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.answer import Answer, AskResponse
+from repro.core.experiment import (
+    LOWER_IS_BETTER_METRICS,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    ProgressCallback,
+    as_experiment_spec,
+)
 from repro.core.generate import AnswerGenerator
 from repro.core.plan import (
     AskRequest,
@@ -65,6 +73,7 @@ from repro.core.query import (
     TRICK,
     WORKLOAD_ANALYSIS,
 )
+from repro.errors import UnknownNameError
 from repro.llm.backend import LLMBackend, get_backend
 from repro.llm.memory import ConversationMemory
 from repro.retrieval.base import Retriever, get_retriever, resolve_retriever_name
@@ -82,9 +91,8 @@ from repro.tracedb.store import TraceStore, simulation_key
 from repro.workloads.generator import get_workload
 from repro.workloads.trace import MemoryTrace
 
-#: metrics where a smaller value wins (everything else is higher-is-better);
-#: consumed by best_policy, which the CLI bench renderer delegates to.
-LOWER_IS_BETTER_METRICS = ("miss_rate",)
+# LOWER_IS_BETTER_METRICS lives in repro.core.experiment (the experiment
+# views need it too) and is re-exported here for existing callers.
 
 #: question types answered by exact computation over the store (Ranger).
 RANGER_TYPES = (COUNT, ARITHMETIC, CODE_GENERATION, PC_LIST, SET_ANALYSIS)
@@ -234,6 +242,57 @@ class SimulationCache:
             self.store.save_result(key, result)
         return result
 
+    def lookup_result(self, engine: SimulationEngine, trace: MemoryTrace,
+                      policy_name: str
+                      ) -> Tuple[Optional[SimulationResult], str]:
+        """``(result, origin)`` without simulating: origin is ``"memory"``,
+        ``"store"`` or ``"miss"`` (result is ``None`` only for a miss).
+
+        The provenance lets callers keep their own hit/store-hit counters —
+        the experiment runner needs counts that stay honest while other
+        threads share this cache, which a before/after delta of the global
+        counters cannot provide.
+        """
+        key = self._key(engine, trace, policy_name)
+        with self._lock:
+            result = self._get(self._results, key)
+            if result is not None:
+                self._hits += 1
+                return result, "memory"
+        if self.store is not None:
+            result = self.store.load_result(key)
+            if result is not None:
+                with self._lock:
+                    self._put(self._results, key, result)
+                    self._hits += 1
+                    self._store_hits += 1
+                return result, "store"
+        return None, "miss"
+
+    def peek_result(self, engine: SimulationEngine, trace: MemoryTrace,
+                    policy_name: str) -> Optional[SimulationResult]:
+        """A memoised result if present, else ``None`` (never simulates).
+
+        The bare-result counterpart of :meth:`peek_entry`, for callers that
+        do not need the :meth:`lookup_result` provenance.
+        """
+        return self.lookup_result(engine, trace, policy_name)[0]
+
+    def put_result(self, engine: SimulationEngine, trace: MemoryTrace,
+                   policy_name: str, result: SimulationResult) -> None:
+        """Install an externally computed result (e.g. from a worker).
+
+        Counts as one miss — the simulation genuinely ran, just not through
+        :meth:`get_or_run` — mirroring :meth:`put_entry`.  With a store
+        attached the result is persisted for future processes.
+        """
+        key = self._key(engine, trace, policy_name)
+        with self._lock:
+            self._put(self._results, key, result)
+            self._misses += 1
+        if self.store is not None:
+            self.store.save_result(key, result)
+
     def get_entry(self, engine: SimulationEngine, trace: MemoryTrace,
                   policy_name: str, description: str = "") -> "TraceEntry":
         """A memoised database entry (simulation + derived table/statistics).
@@ -270,22 +329,19 @@ class SimulationCache:
             self.store.save_entry(key, entry)
         return entry
 
-    def peek_entry(self, engine: SimulationEngine, trace: MemoryTrace,
-                   policy_name: str,
-                   description: str = "") -> Optional["TraceEntry"]:
-        """A memoised entry if present, else ``None`` (never simulates).
-
-        Used by parallel database builds to dispatch only the cache misses
-        to workers; consults the on-disk store after the in-memory maps.  A
-        found entry counts as a hit, mirroring :meth:`get_entry`.
-        """
+    def lookup_entry(self, engine: SimulationEngine, trace: MemoryTrace,
+                     policy_name: str, description: str = ""
+                     ) -> Tuple[Optional["TraceEntry"], str]:
+        """``(entry, origin)`` without simulating — the entry counterpart of
+        :meth:`lookup_result` (origin: ``"memory"``/``"store"``/``"miss"``).
+        A found entry counts as a hit, mirroring :meth:`get_entry`."""
         sim_key = self._key(engine, trace, policy_name)
         key = sim_key + (description,)
         with self._lock:
             entry = self._get(self._entries, key)
             if entry is not None:
                 self._hits += 1
-                return entry
+                return entry, "memory"
         if self.store is not None:
             entry = self.store.load_entry(key)
             if entry is not None:
@@ -293,8 +349,19 @@ class SimulationCache:
                 with self._lock:
                     self._hits += 1
                     self._store_hits += 1
-                return entry
-        return None
+                return entry, "store"
+        return None, "miss"
+
+    def peek_entry(self, engine: SimulationEngine, trace: MemoryTrace,
+                   policy_name: str,
+                   description: str = "") -> Optional["TraceEntry"]:
+        """A memoised entry if present, else ``None`` (never simulates).
+
+        Used by parallel database builds to dispatch only the cache misses
+        to workers; consults the on-disk store after the in-memory maps.
+        """
+        return self.lookup_entry(engine, trace, policy_name,
+                                 description=description)[0]
 
     def put_entry(self, engine: SimulationEngine, trace: MemoryTrace,
                   policy_name: str, description: str,
@@ -439,6 +506,15 @@ class CacheMind:
             forced_retriever=self._forced_retriever)
         self._database: Optional[TraceDatabase] = None
         self._retrievers: Dict[str, Retriever] = {}
+        # Experiment bookkeeping: how many sweeps ran through this session
+        # and which hierarchy configurations they touched (describe()
+        # reports these — the session is no longer pinned to one config).
+        # Guarded by a lock: the serving layer runs sweeps concurrently
+        # outside its serving lock, so these read-modify-writes would
+        # otherwise interleave.
+        self.experiments_run = 0
+        self._experiment_configs: Dict[str, HierarchyConfig] = {}
+        self._experiment_state_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # database lifecycle
@@ -711,23 +787,100 @@ class CacheMind:
             })
 
     # ------------------------------------------------------------------
+    # experiments: declarative sweep grids over many configurations
+    # ------------------------------------------------------------------
+    def experiment_spec(self, **overrides) -> ExperimentSpec:
+        """An :class:`ExperimentSpec` defaulting every axis from this
+        session (workloads, policies, config, mode, trace length, seed);
+        keyword overrides replace whole axes.
+
+            >>> spec = session.experiment_spec(
+            ...     configs=[session.config, "tiny"], seeds=[0, 1])
+        """
+        options: Dict[str, object] = dict(
+            workloads=self.workloads, policies=self.policies,
+            configs=(self.config,), mode=self.mode,
+            num_accesses=(self.num_accesses,), seeds=(self.seed,))
+        options.update(overrides)
+        return ExperimentSpec(**options)
+
+    def run_experiment(self, spec: Union[ExperimentSpec, Dict],
+                       progress: Optional[ProgressCallback] = None
+                       ) -> ExperimentResult:
+        """Execute one declarative sweep grid through this session's cache.
+
+        This lifts the one-config-per-session restriction: cells targeting
+        configurations other than ``self.config`` route through the
+        simulation memoiser (and its store, when attached) rather than the
+        session database, so a multi-config grid never trips the
+        foreign-config guard of the ask path.  Full-detail cells land in
+        the same memoised entries a database build would use — a later
+        ``ask`` over overlapping (workload, policy) pairs re-simulates
+        nothing, and vice versa.  ``spec`` may be an
+        :class:`ExperimentSpec` or its ``to_dict`` payload (the wire form).
+        """
+        spec = as_experiment_spec(spec)
+        runner = ExperimentRunner(simulation_cache=self.simulation_cache,
+                                  jobs=self.jobs, executor=self.executor,
+                                  max_records=self.max_records)
+        result = runner.run(spec, progress=progress)
+        with self._experiment_state_lock:
+            # The planner's merge counter doubles as the dedup probe for
+            # experiments, exactly as it does for batched ask plans.
+            self.planner.last_merged_job_count = result.counters[
+                "unique_jobs"]
+            self._experiment_configs.update(spec.config_map)
+            self.experiments_run += 1
+        return result
+
+    # ------------------------------------------------------------------
     # batch analytics
     # ------------------------------------------------------------------
     def compare_policies(self, workload: Optional[str] = None,
                          policies: Optional[Sequence[str]] = None,
                          metric: str = "miss_rate"
                          ) -> Dict[str, Dict[str, float]]:
-        """Per-workload ``{policy: metric}`` table over one database build.
+        """Per-workload ``{policy: metric}`` table.
 
-        ``metric`` is one of ``miss_rate``, ``hit_rate`` or ``ipc``.
+        ``metric`` is one of ``miss_rate``, ``hit_rate`` or ``ipc``.  A
+        narrowed comparison (one workload and/or a policy subset) on a cold
+        session routes through the experiment executor and simulates only
+        the selected cells — it no longer forces a full database build;
+        the full-matrix call (and any call on a warm session) reads the
+        session database as before.  Values are identical either way: both
+        paths read the same memoised entries.
         """
         if metric not in ("miss_rate", "hit_rate", "ipc"):
             raise ValueError("metric must be 'miss_rate', 'hit_rate' or 'ipc'")
-        database = self.database
         selected_workloads = ([workload] if workload is not None
                               else list(self.workloads))
         selected_policies = list(policies) if policies is not None else list(
             self.policies)
+        unknown = sorted(
+            {name for name in selected_workloads
+             if name not in self.workloads}
+            | {name for name in selected_policies
+               if name not in self.policies})
+        if unknown:
+            raise UnknownNameError(
+                f"compare_policies covers this session's matrix only; "
+                f"unknown: {', '.join(unknown)} (workloads: "
+                f"{', '.join(self.workloads)}; policies: "
+                f"{', '.join(self.policies)})")
+        full_matrix = (set(selected_workloads) == set(self.workloads)
+                       and set(selected_policies) == set(self.policies))
+        if self._database is None and not full_matrix:
+            result = self.run_experiment(self.experiment_spec(
+                workloads=tuple(selected_workloads),
+                policies=tuple(selected_policies), metrics=(metric,)))
+            return {
+                workload_name: {
+                    policy_name: result.value(metric,
+                                              workload=workload_name,
+                                              policy=policy_name)
+                    for policy_name in selected_policies}
+                for workload_name in selected_workloads}
+        database = self.database
         table: Dict[str, Dict[str, float]] = {}
         for workload_name in selected_workloads:
             row: Dict[str, float] = {}
@@ -759,6 +912,18 @@ class CacheMind:
             f"{len(self.policies)} policies, backend {self.backend.name}, "
             f"config '{self.config.name}', {self.num_accesses} accesses",
         ]
+        store = self.simulation_cache.store
+        if store is not None:
+            cache_stats = self.simulation_cache.stats()
+            lines.append(f"trace store: {len(store)} records at "
+                         f"'{store.root}' ({cache_stats['store_hits']} warm "
+                         f"loads this process)")
+        with self._experiment_state_lock:
+            experiments_run = self.experiments_run
+            seen = sorted(set(self._experiment_configs) | {self.config.name})
+        if experiments_run:
+            lines.append(f"experiments: {experiments_run} run; "
+                         f"configs seen: {', '.join(seen)}")
         if self._database is not None:
             lines.append(self._database.describe())
         else:

@@ -27,7 +27,17 @@ planner-local decision future work can make without touching callers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.answer import _dataclass_from_dict
 from repro.core.query import QueryIntent, QueryParser
@@ -242,8 +252,20 @@ class QueryPlanner:
 
 def merge_jobs(plans: Sequence[QueryPlan]) -> Tuple[PlannedJob, ...]:
     """The unique jobs across ``plans``, in first-seen order."""
+    return merge_job_lists(plan.jobs for plan in plans)
+
+
+def merge_job_lists(
+        job_lists: Iterable[Sequence[PlannedJob]]) -> Tuple[PlannedJob, ...]:
+    """The unique jobs across any job sequences, in first-seen order.
+
+    The same dedup contract as :func:`merge_jobs` for callers that produce
+    :class:`PlannedJob` sets without a :class:`QueryPlan` around them — the
+    experiment compiler (``repro.core.experiment``) merges one job list per
+    grid cell through here, so duplicate cells simulate once.
+    """
     seen: Dict[Tuple, PlannedJob] = {}
-    for plan in plans:
-        for job in plan.jobs:
+    for jobs in job_lists:
+        for job in jobs:
             seen.setdefault(job.key, job)
     return tuple(seen.values())

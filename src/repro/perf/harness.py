@@ -10,6 +10,9 @@ The suite times, on the bundled workloads:
   instead of simulating),
 * the serving path (``serving``: batch-ask throughput and p50/p95 request
   latency through a warm :class:`~repro.serve.service.CacheMindService`),
+* the declarative experiment path (``experiment``: cold grid execution in
+  cells/sec over a 2-config sweep with duplicate cells, the dedup ratio,
+  and the warm store-backed re-run speedup with zero simulations),
 
 and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
 revisions, so consecutive reports are directly comparable.  ``--quick``
@@ -262,6 +265,69 @@ def run_perf_suite(quick: bool = False,
     }
     service.close()
 
+    # --- experiment sweeps: grid compile+execute, dedup, warm re-runs -----
+    # A 2-config grid (the bench config plus a doubled-LLC variant) with a
+    # duplicated workload, so the measurement also exercises the dedup
+    # merge; cold populates a store, warm re-runs against it (the
+    # cross-process experiment story: zero simulations).
+    from repro.core.experiment import ExperimentRunner, ExperimentSpec
+
+    experiment_spec = ExperimentSpec(
+        workloads=tuple(workloads) + (workloads[0],),
+        policies=list(policies),
+        configs=(config, config.scaled_llc(2 * config.llc.size_bytes,
+                                           name=f"{config.name}-llc2x")),
+        mode=mode, num_accesses=(num_accesses,), seeds=(seed,),
+        baseline_policy=policies[0])
+    experiment_store = tempfile.mkdtemp(prefix="cachemind-bench-exp-")
+    cold_counters: Dict[str, int] = {}
+    warm_counters: Dict[str, int] = {}
+
+    def experiment_cold():
+        TraceStore(experiment_store).clear()
+        runner = ExperimentRunner(
+            simulation_cache=SimulationCache(store=experiment_store))
+        cold_counters.update(runner.run(experiment_spec).counters)
+
+    experiment_cold_timing = _measure(
+        "experiment/cold_grid", experiment_cold, repeats,
+        store_dir=experiment_store)
+    experiment_cold_timing.meta["counters"] = dict(cold_counters)
+    timings.append(experiment_cold_timing)
+
+    def experiment_warm():
+        # A fresh memoiser per run models a brand-new process; the only
+        # warmth is the store the cold run populated.
+        runner = ExperimentRunner(
+            simulation_cache=SimulationCache(store=experiment_store))
+        warm_counters.update(runner.run(experiment_spec).counters)
+
+    experiment_warm_timing = _measure(
+        "experiment/warm_grid", experiment_warm, repeats,
+        store_dir=experiment_store)
+    experiment_warm_timing.meta["counters"] = dict(warm_counters)
+    timings.append(experiment_warm_timing)
+    shutil.rmtree(experiment_store, ignore_errors=True)
+
+    experiment_cells_per_sec = (
+        cold_counters.get("unique_jobs", 0) / experiment_cold_timing.seconds
+        if experiment_cold_timing.seconds > 0 else None)
+    experiment_section = {
+        "planned_cells": cold_counters.get("planned_cells", 0),
+        "unique_jobs": cold_counters.get("unique_jobs", 0),
+        "duplicate_jobs": cold_counters.get("duplicate_jobs", 0),
+        "dedup_ratio": (cold_counters.get("duplicate_jobs", 0)
+                        / cold_counters["planned_cells"]
+                        if cold_counters.get("planned_cells") else None),
+        "cold_seconds": experiment_cold_timing.seconds,
+        "warm_seconds": experiment_warm_timing.seconds,
+        "cells_per_second": experiment_cells_per_sec,
+        "warm_speedup": (experiment_cold_timing.seconds
+                         / experiment_warm_timing.seconds
+                         if experiment_warm_timing.seconds > 0 else None),
+        "warm_zero_simulations": warm_counters.get("simulations_run") == 0,
+    }
+
     # --- derived summary -------------------------------------------------
     speedup_values = sorted(replay_speedups.values())
     derived: Dict[str, object] = {
@@ -276,6 +342,9 @@ def run_perf_suite(quick: bool = False,
         "serving_qps": serving_qps,
         "serving_p50_ms": serving["latency_ms"]["p50"],
         "serving_p95_ms": serving["latency_ms"]["p95"],
+        "experiment_cells_per_sec": experiment_cells_per_sec,
+        "experiment_dedup_ratio": experiment_section["dedup_ratio"],
+        "experiment_warm_speedup": experiment_section["warm_speedup"],
     }
     if parallel is not None:
         derived["parallel_build_speedup"] = (
@@ -315,6 +384,7 @@ def run_perf_suite(quick: bool = False,
         "derived": derived,
         "store_warm_start": store_warm_start,
         "serving": serving,
+        "experiment": experiment_section,
     }
 
 
@@ -367,4 +437,14 @@ def format_report(report: Dict[str, object]) -> str:
             f"({serving_section['questions_per_batch']} per batch), "
             f"latency p50 {latency['p50']:.2f} ms / "
             f"p95 {latency['p95']:.2f} ms")
+    experiment_section = report.get("experiment")
+    if experiment_section and experiment_section.get(
+            "cells_per_second") is not None:
+        lines.append(
+            f"  experiment: {experiment_section['cells_per_second']:.1f} "
+            f"cells/s cold ({experiment_section['planned_cells']} cells -> "
+            f"{experiment_section['unique_jobs']} unique jobs, "
+            f"dedup ratio {experiment_section['dedup_ratio']:.2f}), "
+            f"warm re-run {experiment_section['warm_speedup']:.1f}x "
+            f"({'zero simulations' if experiment_section['warm_zero_simulations'] else 'RE-SIMULATED'})")
     return "\n".join(lines)

@@ -41,8 +41,16 @@ Wire protocol (newline-delimited JSON)::
     ← {"ok": true, "result": {"answer": {...}, "timings": {...}, ...}}
     → {"op": "batch", "questions": ["...", "..."]}
     ← {"ok": true, "result": [{...}, {...}]}
+    → {"op": "experiment", "spec": {"workloads": [...], "configs": [...]}}
+    ← {"ok": true, "result": {"columns": {...}, "counters": {...}, ...}}
     → {"op": "stats"}   /   {"op": "ping"}
     ← {"ok": true, "result": {...}}
+
+The ``experiment`` op runs a declarative sweep grid
+(:class:`~repro.core.experiment.ExperimentSpec` in its ``to_dict`` form)
+through the shared session and returns the lossless
+:class:`~repro.core.experiment.ExperimentResult` dictionary; progress of a
+running sweep is visible in ``stats`` under ``experiments``.
 
 Errors never kill the connection: a malformed line or unknown op yields
 ``{"ok": false, "error": "..."}`` and the handler keeps reading.

@@ -11,9 +11,10 @@ from __future__ import annotations
 import json
 import socket
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.answer import AskResponse
+from repro.core.experiment import ExperimentResult, ExperimentSpec
 
 
 class RemoteError(RuntimeError):
@@ -134,6 +135,18 @@ class RemoteClient:
         result = self.request({"op": "batch", "questions": list(questions),
                                "retriever": retriever})
         return [AskResponse.from_dict(item) for item in result]
+
+    def experiment(self, spec: Union[ExperimentSpec, Dict[str, Any]]
+                   ) -> ExperimentResult:
+        """Run a declarative sweep grid server-side (one round trip).
+
+        ``spec`` is an :class:`ExperimentSpec` or its ``to_dict`` payload;
+        the rebuilt :class:`ExperimentResult` is cell-for-cell identical to
+        running the same spec in-process against the server's session.
+        """
+        payload = spec.to_dict() if isinstance(spec, ExperimentSpec) else dict(spec)
+        result = self.request({"op": "experiment", "spec": payload})
+        return ExperimentResult.from_dict(result)
 
     def stats(self) -> Dict[str, Any]:
         """The server's serving-telemetry snapshot."""

@@ -140,8 +140,17 @@ class CacheMindServer:
                                                retriever=retriever)
             return [_with_server_meta(response.to_dict())
                     for response in responses]
+        if op == "experiment":
+            spec = payload.get("spec")
+            if not isinstance(spec, dict):
+                raise ValueError("'experiment' needs a 'spec' object "
+                                 "(ExperimentSpec.to_dict form)")
+            # No transport metadata is added: the result dictionary must
+            # stay byte-identical to the in-process to_dict() so remote
+            # and local cell tables compare equal.
+            return self.service.run_experiment(spec).to_dict()
         raise ValueError(f"unknown op {op!r}; "
-                         f"supported: ask, batch, stats, ping")
+                         f"supported: ask, batch, experiment, stats, ping")
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -24,6 +24,11 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.answer import AskResponse
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    as_experiment_spec,
+)
 from repro.core.pipeline import CacheMind
 from repro.core.plan import AskRequest, as_request
 
@@ -82,6 +87,19 @@ class CacheMindService:
         self._errors = 0
         self._next_request_id = 0
         self._cache_stats_at_start = dict(self.session.simulation_cache.stats())
+        # Experiment telemetry has its own lock so a long-running sweep —
+        # which deliberately does NOT hold the serving lock — stays visible
+        # through `stats` while it runs.  Each in-flight sweep owns a
+        # per-run [done, total] slot (concurrent sweeps are allowed and
+        # must not overwrite each other's progress); `stats` aggregates
+        # the active slots and falls back to the last completed run.
+        self._experiment_lock = threading.Lock()
+        self._experiment_run_counter = 0
+        self._experiment_active: Dict[int, List[int]] = {}
+        self._experiments: Dict[str, Any] = {
+            "runs": 0, "errors": 0,
+            "cells_done": 0, "cells_total": 0, "last": None,
+        }
 
     # ------------------------------------------------------------------
     # synchronous serving API
@@ -122,6 +140,56 @@ class CacheMindService:
                 self._latencies.append(
                     response.timings.get("total", elapsed))
         return responses
+
+    # ------------------------------------------------------------------
+    # experiments
+    # ------------------------------------------------------------------
+    def run_experiment(self, spec: Union[ExperimentSpec, Dict[str, Any]]
+                       ) -> ExperimentResult:
+        """Run one declarative sweep grid through the shared session.
+
+        Deliberately runs *outside* the main serving lock: the experiment
+        executor only touches the thread-safe simulation cache (asks keep
+        serving concurrently, sharing any warm cells), and holding the lock
+        for a long sweep would freeze ``stats`` — which is exactly where
+        the sweep's progress (``experiments.cells_done/cells_total``) is
+        reported while it runs.  ``spec`` may be an
+        :class:`ExperimentSpec` or its ``to_dict`` payload (the wire form).
+        """
+        spec = as_experiment_spec(spec)
+        started = time.perf_counter()
+        with self._experiment_lock:
+            self._experiment_run_counter += 1
+            run_id = self._experiment_run_counter
+            # The runner announces the real total via progress(0, total)
+            # before executing its first cell — compiling the grid here
+            # just to pre-read the size would flatten every cell twice.
+            self._experiment_active[run_id] = [0, 0]
+
+        def report_progress(done: int, total: int) -> None:
+            with self._experiment_lock:
+                self._experiment_active[run_id] = [done, total]
+
+        try:
+            result = self.session.run_experiment(spec,
+                                                 progress=report_progress)
+        except Exception:
+            with self._experiment_lock:
+                self._experiments["errors"] += 1
+                self._experiment_active.pop(run_id, None)
+            raise
+        with self._experiment_lock:
+            done, total = self._experiment_active.pop(run_id, (0, 0))
+            self._experiments["runs"] += 1
+            self._experiments["cells_done"] = done
+            self._experiments["cells_total"] = total
+            self._experiments["last"] = {
+                "fingerprint": result.fingerprint,
+                "cells": len(result),
+                "counters": dict(result.counters),
+                "seconds": time.perf_counter() - started,
+            }
+        return result
 
     # ------------------------------------------------------------------
     # asyncio front-end
@@ -184,6 +252,7 @@ class CacheMindService:
                 },
                 "simulation_cache": cache_now,
                 "simulation_cache_delta": cache_delta,
+                "experiments": self._experiment_stats(),
                 "database_builds": self.session.database_builds,
                 "session": {
                     "workloads": list(self.session.workloads),
@@ -194,6 +263,24 @@ class CacheMindService:
                     "backend": self.session.backend.name,
                 },
             }
+
+    def _experiment_stats(self) -> Dict[str, Any]:
+        """One consistent snapshot of the experiment telemetry.
+
+        While sweeps are in flight, ``cells_done``/``cells_total``
+        aggregate across all of them; idle, they report the last
+        completed run.
+        """
+        with self._experiment_lock:
+            snapshot = dict(self._experiments)
+            snapshot["in_progress"] = len(self._experiment_active)
+            if self._experiment_active:
+                slots = list(self._experiment_active.values())
+                snapshot["cells_done"] = sum(done for done, _total in slots)
+                snapshot["cells_total"] = sum(total for _done, total in slots)
+            if snapshot["last"] is not None:
+                snapshot["last"] = dict(snapshot["last"])
+            return snapshot
 
     def close(self) -> None:
         """Shut the asyncio thread pool down (idempotent)."""

@@ -11,8 +11,23 @@ provided so working sets still exceed the LLC and the policies differentiate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import UnknownNameError
+
+
+def _component_to_dict(component) -> Dict[str, Any]:
+    """Flat field dictionary of one frozen config dataclass."""
+    return {f.name: getattr(component, f.name) for f in fields(component)}
+
+
+def _component_from_dict(cls, payload: Dict[str, Any]):
+    """Rebuild a config dataclass, ignoring unknown keys (forward
+    compatibility with payloads written by newer builds)."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in payload.items()
+                  if key in known})
 
 
 @dataclass(frozen=True)
@@ -118,11 +133,49 @@ class HierarchyConfig:
         rows["DRAM"] = self.dram.describe()
         return rows
 
-    def scaled_llc(self, size_bytes: int, num_ways: Optional[int] = None) -> "HierarchyConfig":
-        """Return a copy with a different LLC capacity (for sweeps)."""
+    def scaled_llc(self, size_bytes: int, num_ways: Optional[int] = None,
+                   name: Optional[str] = None) -> "HierarchyConfig":
+        """Return a copy with a different LLC capacity (for sweeps).
+
+        ``name`` renames the copy; experiment grids require distinct names
+        per distinct configuration, so sweeps should pass one (e.g.
+        ``config.scaled_llc(2 * config.llc.size_bytes, name="small-llc2x")``).
+        """
         llc = replace(self.llc, size_bytes=size_bytes,
                       num_ways=num_ways if num_ways is not None else self.llc.num_ways)
-        return replace(self, llc=llc)
+        return replace(self, llc=llc,
+                       name=name if name is not None else self.name)
+
+    # ------------------------------------------------------------------
+    # wire format (experiment specs carry whole configs across the wire)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dictionary with every nested component."""
+        return {
+            "name": self.name,
+            "core": _component_to_dict(self.core),
+            "l1i": (_component_to_dict(self.l1i)
+                    if self.l1i is not None else None),
+            "l1d": _component_to_dict(self.l1d),
+            "l2": _component_to_dict(self.l2),
+            "llc": _component_to_dict(self.llc),
+            "dram": _component_to_dict(self.dram),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "HierarchyConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        l1i = payload.get("l1i")
+        return cls(
+            name=payload["name"],
+            core=_component_from_dict(CoreConfig, payload.get("core") or {}),
+            l1i=(_component_from_dict(CacheConfig, l1i)
+                 if l1i is not None else None),
+            l1d=_component_from_dict(CacheConfig, payload["l1d"]),
+            l2=_component_from_dict(CacheConfig, payload["l2"]),
+            llc=_component_from_dict(CacheConfig, payload["llc"]),
+            dram=_component_from_dict(DRAMConfig, payload.get("dram") or {}),
+        )
 
 
 #: Table 2 of the paper.
@@ -166,3 +219,48 @@ TINY_CONFIG = HierarchyConfig(
                     latency_cycles=20, mshr_entries=8),
     dram=DRAMConfig(access_latency_cycles=150),
 )
+
+
+#: Named configurations resolvable by string (the CLI and experiment specs
+#: accept these names anywhere a :class:`HierarchyConfig` is expected).
+NAMED_CONFIGS: Dict[str, HierarchyConfig] = {
+    "paper": PAPER_CONFIG,
+    "small": SMALL_CONFIG,
+    "tiny": TINY_CONFIG,
+}
+
+
+def available_configs() -> List[str]:
+    """Names of the registered hierarchy configurations, sorted."""
+    return sorted(NAMED_CONFIGS)
+
+
+def register_config(config: HierarchyConfig) -> HierarchyConfig:
+    """Register a configuration under its own name (mirrors the policy /
+    retriever / backend registries); returns it so the call chains."""
+    NAMED_CONFIGS[config.name] = config
+    return config
+
+
+def get_config(name: str) -> HierarchyConfig:
+    """The registered configuration for ``name``."""
+    if name not in NAMED_CONFIGS:
+        raise UnknownNameError(
+            f"unknown configuration {name!r}; available: "
+            f"{', '.join(available_configs())}")
+    return NAMED_CONFIGS[name]
+
+
+def resolve_config(
+        value: Union[str, HierarchyConfig, Dict[str, Any]]) -> HierarchyConfig:
+    """Coerce a name, a :meth:`HierarchyConfig.to_dict` payload or a ready
+    instance into a :class:`HierarchyConfig` (the experiment-spec input
+    contract: names stay convenient, full dictionaries cross the wire)."""
+    if isinstance(value, HierarchyConfig):
+        return value
+    if isinstance(value, str):
+        return get_config(value)
+    if isinstance(value, dict):
+        return HierarchyConfig.from_dict(value)
+    raise TypeError(f"cannot resolve {type(value).__name__!r} into a "
+                    f"HierarchyConfig (expected name, dict or instance)")

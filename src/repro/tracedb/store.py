@@ -66,7 +66,8 @@ MANIFEST_NAME = "manifest.json"
 #: Record kinds persisted by the store.
 KIND_ENTRY = "entry"
 KIND_RESULT = "result"
-KINDS = (KIND_ENTRY, KIND_RESULT)
+KIND_EXPERIMENT = "experiment"
+KINDS = (KIND_ENTRY, KIND_RESULT, KIND_EXPERIMENT)
 
 
 class StoreCorruptionWarning(UserWarning):
@@ -99,6 +100,21 @@ def key_digest(key: tuple) -> str:
     all of which ``repr`` deterministically.
     """
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+
+
+def _experiment_key_from_repr(key_repr: str) -> tuple:
+    """Recover an experiment record's ``(fingerprint,)`` key from the header.
+
+    Experiment keys are one-string tuples whose fingerprint is a hex digest,
+    so ``ast.literal_eval`` on the stored canonical repr is safe and exact.
+    """
+    import ast
+
+    key = ast.literal_eval(key_repr)
+    if (not isinstance(key, tuple) or len(key) != 1
+            or not isinstance(key[0], str)):
+        raise ValueError(f"malformed experiment key repr {key_repr!r}")
+    return key
 
 
 class TraceStore:
@@ -266,6 +282,63 @@ class TraceStore:
     def load_result(self, key: tuple):
         return self.load(KIND_RESULT, key)
 
+    # Experiment records are keyed by the spec fingerprint alone: the
+    # fingerprint already hashes every axis of the grid, so one spec maps to
+    # exactly one stored result (re-running overwrites with fresher data).
+    def save_experiment(self, fingerprint: str, payload: Dict[str, Any]) -> str:
+        """Persist one :class:`ExperimentResult` dictionary under its spec
+        fingerprint (``payload`` is the lossless ``to_dict`` form)."""
+        return self.save(KIND_EXPERIMENT, (fingerprint,), payload)
+
+    def load_experiment(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        return self.load(KIND_EXPERIMENT, (fingerprint,))
+
+    def experiment_fingerprints(self) -> List[str]:
+        """Fingerprints of every stored experiment, sorted.
+
+        Reads only the small uncompressed record headers (the fingerprint
+        is the whole key), so prefix resolution never decompresses
+        payloads — use :meth:`list_experiments` when the spec summaries
+        are actually needed.
+        """
+        fingerprints = []
+        for _name, header in self.iter_records():
+            if header.get("kind") != KIND_EXPERIMENT:
+                continue
+            try:
+                key = _experiment_key_from_repr(header.get("key_repr") or "")
+            except (ValueError, SyntaxError):
+                continue
+            fingerprints.append(key[0])
+        return sorted(fingerprints)
+
+    def list_experiments(self) -> List[Dict[str, Any]]:
+        """Summaries of every stored experiment result, fingerprint-sorted.
+
+        Payloads are loaded (they are small: a spec plus one float row per
+        grid cell) so the summary can name the grid shape without callers
+        re-deriving it from the fingerprint.
+        """
+        summaries = []
+        for _name, header in self.iter_records():
+            if header.get("kind") != KIND_EXPERIMENT:
+                continue
+            try:
+                key = _experiment_key_from_repr(header.get("key_repr") or "")
+            except (ValueError, SyntaxError):
+                continue
+            payload = self.load(KIND_EXPERIMENT, key)
+            if payload is None:
+                continue
+            summaries.append({
+                # key[0] IS the fingerprint (the whole record key).
+                "fingerprint": payload.get("fingerprint", key[0]),
+                "spec": payload.get("spec", {}),
+                "cells": len((payload.get("columns") or {}).get("workload",
+                                                               ())),
+            })
+        return sorted(summaries, key=lambda item: item["fingerprint"])
+
     # ------------------------------------------------------------------
     # inspection / maintenance
     # ------------------------------------------------------------------
@@ -337,6 +410,7 @@ class TraceStore:
             "records": len(names),
             "entries": counts[KIND_ENTRY],
             "results": counts[KIND_RESULT],
+            "experiments": counts[KIND_EXPERIMENT],
             "unreadable": unreadable,
             "total_bytes": total_bytes,
             "saves": self.saves,
