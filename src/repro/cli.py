@@ -1,5 +1,5 @@
 """Command-line interface:
-``python -m repro {simulate,ask,bench,experiment,store,serve}``.
+``python -m repro {simulate,ask,bench,experiment,store,serve,trace}``.
 
 All subcommands drive the same :class:`~repro.core.pipeline.CacheMind`
 facade (and therefore share the process-wide simulation memoiser):
@@ -25,7 +25,11 @@ facade (and therefore share the process-wide simulation memoiser):
   processes start warm instead of re-simulating,
 * ``serve``    -- run the concurrent JSON-lines server over one shared
   session (see ``repro.serve``); clients connect with ``ask --remote`` or
-  any newline-delimited-JSON speaker (netcat works).
+  any newline-delimited-JSON speaker (netcat works),
+* ``trace``    -- import external trace files (text/CSV or ChampSim-like
+  binary, ``import``/``list``/``info``): an imported trace is persisted
+  into the store keyed by content fingerprint and becomes a named workload
+  any store-attached command can reference.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ from repro.policies.base import available_policies
 from repro.retrieval.base import available_retrievers
 from repro.sim.config import NAMED_CONFIGS as CONFIGS
 from repro.tracedb.database import DEFAULT_POLICIES, DEFAULT_WORKLOADS
-from repro.workloads.generator import available_workloads
+from repro.workloads.generator import available_workload_info
 
 
 def _csv(value: str) -> List[str]:
@@ -77,6 +81,11 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_session(args: argparse.Namespace, **overrides) -> CacheMind:
+    if args.accesses is not None and args.accesses <= 0:
+        # Caught here (not deep inside a generator mid-build) so the CLI
+        # prints one clean line instead of a traceback.
+        raise ValueError(f"--accesses must be a positive access count, "
+                         f"got {args.accesses}")
     options = dict(
         workloads=(args.workloads if args.workloads is not None
                    else list(DEFAULT_WORKLOADS)),
@@ -86,6 +95,7 @@ def _make_session(args: argparse.Namespace, **overrides) -> CacheMind:
         config=CONFIGS[args.config],
         mode=args.mode,
         seed=args.seed,
+        store_dir=getattr(args, "store_dir", None),
     )
     options.update(overrides)
     return CacheMind(**options)
@@ -106,7 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--policy", default=None,
                           help="single policy (default: first of --policies)")
     simulate.add_argument("--list", action="store_true",
-                          help="list available workloads/policies and exit")
+                          help="list available workloads (with kind and "
+                               "description), policies, retrievers and "
+                               "backends, then exit")
+    simulate.add_argument("--store-dir", default=None, metavar="DIR",
+                          help="persistent trace store; traces imported "
+                               "with `trace import` become nameable "
+                               "workloads, and results persist across "
+                               "processes")
 
     ask = subparsers.add_parser(
         "ask", help="answer natural-language questions over the trace store")
@@ -131,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "instance instead of answering in-process "
                           "(session flags are ignored; the server's "
                           "session configuration applies)")
+    ask.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="persistent trace store; traces imported with "
+                          "`trace import` become nameable workloads, and "
+                          "results persist across processes")
 
     bench = subparsers.add_parser(
         "bench", help="benchmark every policy on every workload")
@@ -311,6 +332,45 @@ def build_parser() -> argparse.ArgumentParser:
     store_gc.add_argument("--max-records", type=int, default=None,
                           help="keep at most this many records "
                                "(oldest pruned first)")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="import external trace files and inspect imported traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_import = trace_sub.add_parser(
+        "import",
+        help="parse a trace file and persist it into a store",
+        description="Parse a text/CSV (`pc,address,is_write[,instr_gap]`) "
+                    "or ChampSim-like binary trace file (either optionally "
+                    "gzipped) and persist it into a trace store keyed by "
+                    "content fingerprint.  The imported trace becomes a "
+                    "named workload usable anywhere a synthetic one is: "
+                    "simulate/ask/experiment/serve with the same "
+                    "--store-dir.")
+    trace_import.add_argument("path", metavar="FILE",
+                              help="trace file to import")
+    trace_import.add_argument("--dir", required=True, metavar="DIR",
+                              help="store directory (created if missing)")
+    trace_import.add_argument("--name", default=None,
+                              help="workload name to register "
+                                   "(default: the file stem)")
+    trace_import.add_argument("--format", dest="fmt",
+                              choices=["auto", "text", "champsim"],
+                              default="auto",
+                              help="trace file format (default: auto = "
+                                   "infer from the suffix)")
+
+    trace_list = trace_sub.add_parser(
+        "list", help="list imported traces in a store (headers only)")
+    trace_list.add_argument("--dir", required=True, metavar="DIR")
+
+    trace_info = trace_sub.add_parser(
+        "info", help="show one imported trace's metadata (headers only)")
+    trace_info.add_argument("name", metavar="NAME_OR_FINGERPRINT",
+                            help="workload name, or a content-fingerprint "
+                                 "prefix")
+    trace_info.add_argument("--dir", required=True, metavar="DIR")
     return parser
 
 
@@ -319,13 +379,32 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.list:
-        print("workloads: ", ", ".join(available_workloads()))
+        if args.store_dir is not None:
+            # Imported traces in the named store appear in the listing
+            # beside the synthetic generators.
+            import os
+
+            from repro.tracedb.store import TraceStore
+            from repro.workloads.ingest import ensure_store_traces_registered
+
+            if not os.path.isdir(args.store_dir):
+                print(f"error: no trace store at {args.store_dir!r}",
+                      file=sys.stderr)
+                return 1
+            ensure_store_traces_registered(TraceStore(args.store_dir))
+        infos = available_workload_info()
+        print("workloads:")
+        name_width = max(len(info["name"]) for info in infos)
+        for info in infos:
+            print(f"  {info['name']:<{name_width}}  [{info['kind']:<9}] "
+                  f"{info['description']}")
         print("policies:  ", ", ".join(available_policies()))
         print("retrievers:", ", ".join(available_retrievers()))
         print("backends:  ", ", ".join(available_backend_names()))
         return 0
-    workload = args.workload or args.workloads[0]
-    policy = args.policy or args.policies[0]
+    workload = args.workload or (args.workloads
+                                 or list(DEFAULT_WORKLOADS))[0]
+    policy = args.policy or (args.policies or list(DEFAULT_POLICIES))[0]
     session = _make_session(args, workloads=[workload], policies=[policy])
     result = session.simulate(workload, policy)
     print(result.summary())
@@ -665,6 +744,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"  records: {info['records']} "
               f"({info['entries']} entries, {info['results']} results, "
               f"{info['experiments']} experiments, "
+              f"{info['traces']} traces, "
               f"{info['unreadable']} unreadable)")
         print(f"  size: {info['total_bytes'] / 1024:.1f} KiB")
         return 0
@@ -709,6 +789,76 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.tracedb.store import TraceStore
+    from repro.workloads.ingest import import_trace_file
+
+    # list/info are read-only: a typo'd path must not conjure an empty
+    # store (mirrors `store info`).
+    if (args.trace_command in ("list", "info")
+            and not os.path.isdir(args.dir)):
+        print(f"error: no trace store at {args.dir!r}", file=sys.stderr)
+        return 1
+
+    if args.trace_command == "import":
+        fmt = None if args.fmt == "auto" else args.fmt
+        store = TraceStore(args.dir)
+        try:
+            name, meta = import_trace_file(store, args.path,
+                                           name=args.name, fmt=fmt)
+        except OSError as error:
+            print(f"error: cannot read {args.path!r}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"imported '{name}' into {args.dir}")
+        print(f"  {meta['accesses']} accesses, format {meta['format']}, "
+              f"fingerprint {meta['fingerprint']}")
+        print(f"  source: {meta['source']}")
+        print(f"  reference it as a workload by name, e.g. `python -m "
+              f"repro simulate --workloads {name} --store-dir {args.dir}`")
+        return 0
+
+    store = TraceStore(args.dir)
+    rows = store.trace_manifest()
+    if args.trace_command == "list":
+        if not rows:
+            print(f"no imported traces in {args.dir}")
+            return 0
+        print(f"{len(rows)} imported trace(s) in {args.dir}:")
+        name_width = max(len(row["name"]) for row in rows)
+        for row in rows:
+            print(f"  {row['name']:<{name_width}}  "
+                  f"{row['accesses']:>9} accesses  "
+                  f"{row['format']:<8}  {row['fingerprint']}")
+        return 0
+
+    # info: match by exact name, else by fingerprint prefix.
+    matches = [row for row in rows if row["name"] == args.name]
+    if not matches:
+        matches = [row for row in rows
+                   if row["fingerprint"].startswith(args.name)]
+    if not matches:
+        print(f"error: no imported trace matches {args.name!r} in "
+              f"{args.dir} (try `trace list --dir {args.dir}`)",
+              file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        print(f"error: {args.name!r} is ambiguous ({len(matches)} "
+              f"matches)", file=sys.stderr)
+        return 1
+    row = matches[0]
+    print(f"trace '{row['name']}'")
+    print(f"  accesses:    {row['accesses']}")
+    print(f"  fingerprint: {row['fingerprint']}")
+    print(f"  format:      {row['format']}")
+    print(f"  source:      {row['source'] or '<unknown>'}")
+    print(f"  kind:        ingested (replayed verbatim; seed and "
+          f"--accesses are ignored)")
+    return 0
+
+
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from repro.perf import format_report, run_perf_suite, write_report
     from repro.perf.harness import BENCH_POLICIES, BENCH_WORKLOADS
@@ -746,6 +896,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "store": _cmd_store,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
     }[args.command]
     try:
         return handler(args)

@@ -71,7 +71,8 @@ from repro.policies.base import get_policy
 from repro.sim.config import HierarchyConfig, resolve_config
 from repro.sim.engine import SimulationEngine
 from repro.sim.parallel import ParallelSimulator, SimulationJob
-from repro.workloads.generator import get_workload
+from repro.workloads.generator import get_workload, workload_kind
+from repro.workloads.ingest import ensure_store_traces_registered
 
 #: metrics where a smaller value wins (everything else is higher-is-better).
 LOWER_IS_BETTER_METRICS = ("miss_rate",)
@@ -606,14 +607,17 @@ class ExperimentRunner:
         started = time.perf_counter()
         spec = as_experiment_spec(spec)
         plan = spec.compile()
+        cache = self._cache()
+        if cache.store is not None:
+            # Traces imported by earlier processes become nameable grid
+            # axes before the typo check below rejects them.
+            ensure_store_traces_registered(cache.store)
         # Fail on a typo'd policy/workload name before hours of sweep run.
         for policy in {job.policy for job in plan.jobs}:
             get_policy(policy)
         for workload in {job.workload for job in plan.jobs}:
             get_workload(workload)
         compile_seconds = time.perf_counter() - started
-
-        cache = self._cache()
         execute_started = time.perf_counter()
         # Counted per-cell by this run (not as a delta of the shared
         # cache's global counters): other threads sharing the cache — the
@@ -726,11 +730,16 @@ class ExperimentRunner:
                 jobs=self.jobs, executor=self.executor,
                 config=config_map[config_name], mode=spec.mode,
                 max_records=self.max_records, detail=detail)
+            # Ingested traces ship to workers verbatim (a spawned worker
+            # cannot regenerate a trace that only exists in this process's
+            # registry); synthetic jobs regenerate in-worker as before.
             simulation_jobs = [
                 SimulationJob(workload=job.workload, policy=job.policy,
                               num_accesses=job.num_accesses, seed=job.seed,
-                              description=description)
-                for job, _trace, description in group_pending
+                              description=description,
+                              trace=(trace if workload_kind(job.workload)
+                                     == "ingested" else None))
+                for job, trace, description in group_pending
             ]
             if detail == "full":
                 produced = simulator.run_entries(simulation_jobs)

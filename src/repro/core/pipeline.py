@@ -88,7 +88,8 @@ from repro.tracedb.database import (
     make_entry,
 )
 from repro.tracedb.store import TraceStore, simulation_key
-from repro.workloads.generator import get_workload
+from repro.workloads.generator import get_workload, workload_kind
+from repro.workloads.ingest import ensure_store_traces_registered
 from repro.workloads.trace import MemoryTrace
 
 # LOWER_IS_BETTER_METRICS lives in repro.core.experiment (the experiment
@@ -190,7 +191,15 @@ class SimulationCache:
         # Generated outside the lock: concurrent first-builds of the same key
         # may duplicate this (benign, keyed by value) rather than serialise
         # every other caller behind one generation.
-        generator = get_workload(workload, seed=seed)
+        try:
+            generator = get_workload(workload, seed=seed)
+        except UnknownNameError:
+            # An ingested trace imported by a *previous* process lives in
+            # the store manifest but not in this process's registry yet.
+            if self.store is None:
+                raise
+            ensure_store_traces_registered(self.store)
+            generator = get_workload(workload, seed=seed)
         trace = generator.generate(num_accesses)
         value = (trace, generator.description)
         with self._lock:
@@ -588,10 +597,15 @@ class CacheMind:
             # (workload, num_accesses, seed) — crc32-seeded generators are
             # process-independent — which keeps the pickled payload to a few
             # strings per job instead of one full trace copy per policy.
+            # Ingested traces are the exception: spawned workers cannot
+            # regenerate a trace that exists only in this process's registry
+            # (or a store manifest), so those jobs ship the trace itself.
             simulation_jobs = [
                 SimulationJob(workload=trace.workload, policy=job.policy,
                               num_accesses=job.num_accesses, seed=job.seed,
-                              description=description)
+                              description=description,
+                              trace=(trace if workload_kind(trace.workload)
+                                     == "ingested" else None))
                 for job, trace, description in pending
             ]
             for (job, trace, description), entry in zip(

@@ -16,6 +16,24 @@ class UnknownNameError(KeyError):
         return self.args[0] if self.args else ""
 
 
+class DuplicateNameError(ValueError):
+    """A registry registration collides with an existing name.
+
+    Subclasses ``ValueError`` so the CLI's one-line error path covers it;
+    raised instead of silently overwriting, which could let one workload
+    shadow another and change every later session's answers.
+    """
+
+
+class TraceParseError(ValueError):
+    """An external trace file failed to parse.
+
+    Messages carry the file path plus the 1-based line number (text format)
+    or record index (binary format) of the offending input.  Subclasses
+    ``ValueError`` so CLI surfaces print it as a one-line error.
+    """
+
+
 class StoreVersionError(RuntimeError):
     """A persistent trace store was written with an incompatible schema.
 

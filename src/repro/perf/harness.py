@@ -13,6 +13,9 @@ The suite times, on the bundled workloads:
 * the declarative experiment path (``experiment``: cold grid execution in
   cells/sec over a 2-config sweep with duplicate cells, the dedup ratio,
   and the warm store-backed re-run speedup with zero simulations),
+* trace ingestion (``ingestion``: parse throughput in accesses/sec for the
+  text/CSV and ChampSim-like binary trace formats, round-tripped through
+  the ``repro.workloads.ingest`` writers),
 
 and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
 revisions, so consecutive reports are directly comparable.  ``--quick``
@@ -328,6 +331,49 @@ def run_perf_suite(quick: bool = False,
         "warm_zero_simulations": warm_counters.get("simulations_run") == 0,
     }
 
+    # --- trace ingestion: parse throughput for both on-disk formats ------
+    # The first bench workload's trace is written out in both formats and
+    # parsed back, so the accesses/sec numbers cover the exact columnar
+    # append paths `trace import` runs.
+    from repro.workloads.ingest import (
+        parse_champsim_trace,
+        parse_text_trace,
+        write_champsim_trace,
+        write_text_trace,
+    )
+
+    ingest_dir = tempfile.mkdtemp(prefix="cachemind-bench-ingest-")
+    ingest_trace = traces[workloads[0]]
+    text_path = write_text_trace(
+        ingest_trace, os.path.join(ingest_dir, "bench.csv"))
+    champsim_path = write_champsim_trace(
+        ingest_trace, os.path.join(ingest_dir, "bench.champsim"))
+    ingest_text_timing = _measure(
+        "ingest/parse_text", lambda: parse_text_trace(text_path),
+        repeats, accesses=len(ingest_trace),
+        file_bytes=os.path.getsize(text_path))
+    ingest_champsim_timing = _measure(
+        "ingest/parse_champsim", lambda: parse_champsim_trace(champsim_path),
+        repeats, accesses=len(ingest_trace),
+        file_bytes=os.path.getsize(champsim_path))
+    timings.extend([ingest_text_timing, ingest_champsim_timing])
+    ingest_text_rate = (len(ingest_trace) / ingest_text_timing.seconds
+                        if ingest_text_timing.seconds > 0 else None)
+    ingest_champsim_rate = (len(ingest_trace)
+                            / ingest_champsim_timing.seconds
+                            if ingest_champsim_timing.seconds > 0 else None)
+    ingestion_section = {
+        "workload": workloads[0],
+        "accesses": len(ingest_trace),
+        "text_seconds": ingest_text_timing.seconds,
+        "text_file_bytes": os.path.getsize(text_path),
+        "text_accesses_per_second": ingest_text_rate,
+        "champsim_seconds": ingest_champsim_timing.seconds,
+        "champsim_file_bytes": os.path.getsize(champsim_path),
+        "champsim_accesses_per_second": ingest_champsim_rate,
+    }
+    shutil.rmtree(ingest_dir, ignore_errors=True)
+
     # --- derived summary -------------------------------------------------
     speedup_values = sorted(replay_speedups.values())
     derived: Dict[str, object] = {
@@ -345,6 +391,8 @@ def run_perf_suite(quick: bool = False,
         "experiment_cells_per_sec": experiment_cells_per_sec,
         "experiment_dedup_ratio": experiment_section["dedup_ratio"],
         "experiment_warm_speedup": experiment_section["warm_speedup"],
+        "ingest_text_accesses_per_s": ingest_text_rate,
+        "ingest_champsim_accesses_per_s": ingest_champsim_rate,
     }
     if parallel is not None:
         derived["parallel_build_speedup"] = (
@@ -385,6 +433,7 @@ def run_perf_suite(quick: bool = False,
         "store_warm_start": store_warm_start,
         "serving": serving,
         "experiment": experiment_section,
+        "ingestion": ingestion_section,
     }
 
 
@@ -447,4 +496,13 @@ def format_report(report: Dict[str, object]) -> str:
             f"dedup ratio {experiment_section['dedup_ratio']:.2f}), "
             f"warm re-run {experiment_section['warm_speedup']:.1f}x "
             f"({'zero simulations' if experiment_section['warm_zero_simulations'] else 'RE-SIMULATED'})")
+    ingestion_section = report.get("ingestion")
+    if ingestion_section and ingestion_section.get(
+            "text_accesses_per_second") is not None:
+        lines.append(
+            f"  ingestion: text {ingestion_section['text_accesses_per_second']:,.0f} "
+            f"accesses/s, champsim "
+            f"{ingestion_section['champsim_accesses_per_second']:,.0f} "
+            f"accesses/s ({ingestion_section['accesses']} accesses, "
+            f"workload {ingestion_section['workload']})")
     return "\n".join(lines)

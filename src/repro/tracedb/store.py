@@ -67,7 +67,8 @@ MANIFEST_NAME = "manifest.json"
 KIND_ENTRY = "entry"
 KIND_RESULT = "result"
 KIND_EXPERIMENT = "experiment"
-KINDS = (KIND_ENTRY, KIND_RESULT, KIND_EXPERIMENT)
+KIND_TRACE = "trace"
+KINDS = (KIND_ENTRY, KIND_RESULT, KIND_EXPERIMENT, KIND_TRACE)
 
 
 class StoreCorruptionWarning(UserWarning):
@@ -212,13 +213,16 @@ class TraceStore:
             raise ValueError("malformed record header")
         return header
 
-    def save(self, kind: str, key: tuple, payload: Any) -> str:
+    def save(self, kind: str, key: tuple, payload: Any,
+             extra_header: Optional[Dict[str, Any]] = None) -> str:
         """Persist one record atomically; returns the path written.
 
         Payloads are zlib-compressed pickles (the columnar logs are highly
         repetitive, so this shrinks the store several-fold at negligible
         load cost) preceded by a small uncompressed header block, so
-        ``info``/``gc`` never decompress payloads.
+        ``info``/``gc`` never decompress payloads.  ``extra_header`` keys
+        ride in that block — used by trace records to expose their manifest
+        metadata without decompressing the trace itself.
         """
         if kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}")
@@ -227,6 +231,12 @@ class TraceStore:
             "kind": kind,
             "key_repr": repr(key),
         }
+        if extra_header:
+            for reserved in ("schema", "kind", "key_repr"):
+                if reserved in extra_header:
+                    raise ValueError(
+                        f"extra_header may not override {reserved!r}")
+            header.update(extra_header)
         path = self._record_path(kind, key)
         self._atomic_write_bytes(path, self._encode_record(header, payload))
         self.saves += 1
@@ -281,6 +291,47 @@ class TraceStore:
 
     def load_result(self, key: tuple):
         return self.load(KIND_RESULT, key)
+
+    # Trace records are keyed by the content fingerprint alone (the
+    # fingerprint hashes the workload name plus all four columns, so one
+    # trace maps to exactly one record).  The manifest metadata rides in
+    # the uncompressed header block so ``trace list``/``trace info`` never
+    # decompress multi-megabyte column payloads.
+    def save_trace(self, trace, source: str = "", fmt: str = "") -> str:
+        """Persist one ingested :class:`~repro.workloads.trace.MemoryTrace`
+        keyed by its content fingerprint."""
+        fingerprint_hex = f"{trace.fingerprint():08x}"
+        return self.save(KIND_TRACE, (fingerprint_hex,), trace,
+                         extra_header={"trace": {
+                             "name": trace.workload,
+                             "accesses": len(trace),
+                             "fingerprint": fingerprint_hex,
+                             "source": source,
+                             "format": fmt,
+                         }})
+
+    def load_trace(self, fingerprint_hex: str):
+        return self.load(KIND_TRACE, (fingerprint_hex,))
+
+    def trace_manifest(self) -> List[Dict[str, Any]]:
+        """Metadata of every stored trace, name-sorted.
+
+        Header-only (payloads stay compressed on disk): each row is the
+        ``{"name", "accesses", "fingerprint", "source", "format"}`` dict
+        written at import time.  Rows missing that metadata (foreign or
+        damaged headers) are skipped rather than guessed at.
+        """
+        rows = []
+        for _name, header in self.iter_records():
+            if header.get("kind") != KIND_TRACE:
+                continue
+            meta = header.get("trace")
+            if (not isinstance(meta, dict) or not meta.get("name")
+                    or not meta.get("fingerprint")):
+                continue
+            rows.append(dict(meta))
+        return sorted(rows, key=lambda row: (row["name"],
+                                             row["fingerprint"]))
 
     # Experiment records are keyed by the spec fingerprint alone: the
     # fingerprint already hashes every axis of the grid, so one spec maps to
@@ -381,9 +432,12 @@ class TraceStore:
                     header = self._decode_header(handle)
             except Exception:
                 continue
-            yield name, {"kind": header.get("kind"),
-                         "schema": header.get("schema"),
-                         "key_repr": header.get("key_repr")}
+            summary = {"kind": header.get("kind"),
+                       "schema": header.get("schema"),
+                       "key_repr": header.get("key_repr")}
+            if "trace" in header:
+                summary["trace"] = header["trace"]
+            yield name, summary
 
     def info(self) -> Dict[str, Any]:
         """Summary of the store: schema, per-kind counts, total bytes."""
@@ -411,6 +465,7 @@ class TraceStore:
             "entries": counts[KIND_ENTRY],
             "results": counts[KIND_RESULT],
             "experiments": counts[KIND_EXPERIMENT],
+            "traces": counts[KIND_TRACE],
             "unreadable": unreadable,
             "total_bytes": total_bytes,
             "saves": self.saves,

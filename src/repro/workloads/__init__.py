@@ -26,9 +26,14 @@ from repro.workloads.trace import MemoryTrace, TraceAccess
 from repro.workloads.generator import (
     WorkloadGenerator,
     WorkloadSpec,
+    available_workload_info,
     available_workloads,
     get_workload,
     generate_trace,
+    register_workload,
+    unregister_workload,
+    workload_info,
+    workload_kind,
 )
 from repro.workloads.spec import (
     AstarWorkload,
@@ -37,6 +42,19 @@ from repro.workloads.spec import (
     MilcWorkload,
 )
 from repro.workloads.microbench import PointerChaseMicrobenchmark
+from repro.workloads.composite import InterleavedWorkload, PhasedWorkload
+from repro.workloads.ingest import (
+    IngestedWorkload,
+    ensure_store_traces_registered,
+    import_trace_file,
+    parse_champsim_trace,
+    parse_text_trace,
+    parse_trace_file,
+    register_trace,
+    register_trace_file,
+    write_champsim_trace,
+    write_text_trace,
+)
 
 __all__ = [
     "BinaryImage",
@@ -46,12 +64,29 @@ __all__ = [
     "TraceAccess",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "available_workload_info",
     "available_workloads",
     "get_workload",
     "generate_trace",
+    "register_workload",
+    "unregister_workload",
+    "workload_info",
+    "workload_kind",
     "AstarWorkload",
     "LbmWorkload",
     "McfWorkload",
     "MilcWorkload",
     "PointerChaseMicrobenchmark",
+    "InterleavedWorkload",
+    "PhasedWorkload",
+    "IngestedWorkload",
+    "ensure_store_traces_registered",
+    "import_trace_file",
+    "parse_champsim_trace",
+    "parse_text_trace",
+    "parse_trace_file",
+    "register_trace",
+    "register_trace_file",
+    "write_champsim_trace",
+    "write_text_trace",
 ]

@@ -1,0 +1,249 @@
+"""Composite synthetic workloads: phase-structured and multi-program.
+
+Two generator families the config/workload sensitivity studies need beyond
+the single-behaviour SPEC-like generators:
+
+* :class:`PhasedWorkload` — a program whose access pattern changes over
+  time: distinct phases (streaming scan, hot-set reuse, uniform random,
+  fixed-stride sweep) run back to back with configurable lengths.  Phase
+  changes are where replacement policies diverge most (a policy tuned to
+  the streaming phase mis-handles the reuse phase), which is exactly the
+  sensitivity axis application-specific cache studies sweep.
+* :class:`InterleavedWorkload` — several existing workloads time-sliced
+  onto one shared LLC, modelling multi-program contention.  Component
+  accesses are rebased into disjoint PC/address regions (offsets are
+  block-aligned, so each component's reuse structure is preserved) and
+  interleaved in scheduler-quantum-sized bursts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    get_workload,
+    register_workload,
+)
+from repro.workloads.symbols import BinaryImage, FunctionImage, Instruction
+from repro.workloads.trace import TraceAccess
+
+
+@register_workload
+class PhasedWorkload(WorkloadGenerator):
+    """Distinct access-pattern phases with configurable phase lengths."""
+
+    name = "phased"
+    description = (
+        "phased: a phase-structured program. Runs distinct access-pattern "
+        "phases back to back — streaming scan, small hot-set reuse, uniform "
+        "random, fixed-stride sweep — so replacement policies face a "
+        "mid-trace behaviour change."
+    )
+    dominant_pattern = "phase changes between streaming, reuse, random and strided access"
+    working_set_blocks = 16384
+
+    #: default phase schedule: (pattern, fraction of the trace).
+    DEFAULT_PHASES: Tuple[Tuple[str, float], ...] = (
+        ("stream", 0.35), ("hot", 0.25), ("random", 0.25), ("stride", 0.15))
+
+    PATTERNS = ("stream", "hot", "random", "stride")
+
+    REGION_STREAM = 0x51a000000000
+    REGION_HOT = 0x51a100000000
+    REGION_RANDOM = 0x51a200000000
+    REGION_STRIDE = 0x51a300000000
+
+    HOT_BLOCKS = 96
+    STRIDE_BLOCKS = 8
+
+    def __init__(self, seed: int = 0,
+                 phases: Optional[Sequence[Tuple[str, float]]] = None):
+        self.phases = tuple(phases) if phases is not None else self.DEFAULT_PHASES
+        if not self.phases:
+            raise ValueError("phased workload needs at least one phase")
+        for pattern, fraction in self.phases:
+            if pattern not in self.PATTERNS:
+                raise ValueError(f"unknown phase pattern {pattern!r}; "
+                                 f"available: {self.PATTERNS}")
+            if fraction <= 0:
+                raise ValueError("phase fractions must be positive")
+        super().__init__(seed=seed)
+
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        binary = BinaryImage(self.name)
+        binary.add_function(
+            "phase_stream_scan", 0x431200, 30,
+            ["stream", "stream", "load", "store"],
+            rng, description="streaming phase: sequential sweep over a large buffer",
+        )
+        binary.add_function(
+            "phase_hot_update", 0x431800, 24,
+            ["load", "store", "load"],
+            rng, description="reuse phase: tight loop over a small hot table",
+        )
+        binary.add_function(
+            "phase_random_probe", 0x431e00, 26,
+            ["pointer", "load", "control"],
+            rng, description="random phase: uniform probes over a large region",
+        )
+        binary.add_function(
+            "phase_stride_walk", 0x432400, 22,
+            ["load", "load", "compute"],
+            rng, description="strided phase: fixed-stride sweep with regular reuse",
+        )
+        return binary
+
+    def _phase_lengths(self, num_accesses: int) -> List[int]:
+        """Integer per-phase lengths that sum exactly to ``num_accesses``."""
+        total_weight = sum(fraction for _pattern, fraction in self.phases)
+        lengths = [int(num_accesses * fraction / total_weight)
+                   for _pattern, fraction in self.phases]
+        # Round-off goes to the last phase so lengths always sum exactly.
+        lengths[-1] += num_accesses - sum(lengths)
+        return lengths
+
+    def emit_accesses(self, num_accesses: int,
+                      rng: random.Random) -> List[TraceAccess]:
+        pcs = {
+            "stream": self.binary.functions[0].memory_pcs,
+            "hot": self.binary.functions[1].memory_pcs,
+            "random": self.binary.functions[2].memory_pcs,
+            "stride": self.binary.functions[3].memory_pcs,
+        }
+        accesses: List[TraceAccess] = []
+        stream_position = 0
+        stride_position = 0
+        for (pattern, _fraction), length in zip(self.phases,
+                                                self._phase_lengths(num_accesses)):
+            phase_pcs = pcs[pattern]
+            for i in range(length):
+                if pattern == "stream":
+                    block = stream_position % self.working_set_blocks
+                    stream_position += 1
+                    address = self.block_address(self.REGION_STREAM, block)
+                    is_write = i % 4 == 3
+                    gap = rng.randint(8, 14)
+                elif pattern == "hot":
+                    address = self.block_address(
+                        self.REGION_HOT, rng.randrange(self.HOT_BLOCKS))
+                    is_write = i % 3 == 2
+                    gap = rng.randint(4, 8)
+                elif pattern == "random":
+                    address = self.block_address(
+                        self.REGION_RANDOM,
+                        rng.randrange(self.working_set_blocks))
+                    is_write = i % 5 == 4
+                    gap = rng.randint(5, 11)
+                else:  # stride
+                    block = (stride_position * self.STRIDE_BLOCKS) % (
+                        self.working_set_blocks // 4)
+                    stride_position += 1
+                    address = self.block_address(self.REGION_STRIDE, block)
+                    is_write = False
+                    gap = rng.randint(10, 16)
+                accesses.append(TraceAccess(
+                    pc=phase_pcs[i % len(phase_pcs)],
+                    address=address,
+                    is_write=is_write,
+                    instructions_since_last=gap,
+                ))
+        return accesses
+
+
+@register_workload
+class InterleavedWorkload(WorkloadGenerator):
+    """Existing workloads time-sliced onto one LLC (shared-cache contention)."""
+
+    name = "interleaved"
+    description = (
+        "interleaved: multiple programs (astar + mcf by default) time-sliced "
+        "onto one shared LLC. Component accesses are rebased into disjoint "
+        "PC/address regions and interleaved in scheduler-quantum bursts, so "
+        "each program's reuse is stretched by the other's contention."
+    )
+    dominant_pattern = "multi-program interleaving contending for a shared LLC"
+    working_set_blocks = 27648
+
+    DEFAULT_COMPONENTS: Tuple[str, ...] = ("astar", "mcf")
+
+    #: rebasing offsets per component slot (block-aligned, so component
+    #: reuse structure survives; PCs and data regions of different slots
+    #: can never collide).
+    PC_OFFSET = 0x100000000
+    ADDRESS_OFFSET = 0x100000000000
+
+    #: accesses per scheduling quantum before switching programs.
+    DEFAULT_QUANTUM = 24
+
+    def __init__(self, seed: int = 0,
+                 components: Optional[Sequence[str]] = None,
+                 quantum: int = DEFAULT_QUANTUM):
+        self.components = (tuple(components) if components is not None
+                           else self.DEFAULT_COMPONENTS)
+        if len(self.components) < 2:
+            raise ValueError("interleaved workload needs at least two "
+                             "component workloads")
+        if self.name in self.components:
+            raise ValueError("interleaved workload cannot contain itself")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._generators = [get_workload(component, seed=seed)
+                            for component in self.components]
+        super().__init__(seed=seed)
+
+    # ------------------------------------------------------------------
+    def _offsets(self, slot: int) -> Tuple[int, int]:
+        return slot * self.PC_OFFSET, slot * self.ADDRESS_OFFSET
+
+    def build_binary(self, rng: random.Random) -> BinaryImage:
+        binary = BinaryImage(self.name)
+        for slot, generator in enumerate(self._generators):
+            pc_offset, _address_offset = self._offsets(slot)
+            for function in generator.binary.functions:
+                rebased = FunctionImage(
+                    name=f"{function.name}@{generator.name}",
+                    base_pc=function.base_pc + pc_offset,
+                    description=(f"{function.description or function.name} "
+                                 f"[program {generator.name}]"))
+                for instruction in function.instructions:
+                    rebased.instructions.append(Instruction(
+                        pc=instruction.pc + pc_offset,
+                        mnemonic=instruction.mnemonic,
+                        is_memory=instruction.is_memory,
+                        kind=instruction.kind,
+                        source_line=instruction.source_line,
+                    ))
+                binary.adopt_function(rebased)
+        return binary
+
+    def emit_accesses(self, num_accesses: int,
+                      rng: random.Random) -> List[TraceAccess]:
+        # Each component contributes its own deterministic stream; the
+        # full-length generation is consumed partially (round-robin), so a
+        # component's prefix is identical whether it runs alone or shared.
+        streams = [iter(generator.generate(num_accesses))
+                   for generator in self._generators]
+        accesses: List[TraceAccess] = []
+        slot = 0
+        while len(accesses) < num_accesses:
+            pc_offset, address_offset = self._offsets(slot % len(streams))
+            # Quantum lengths jitter like a real scheduler's would.
+            burst = rng.randint(max(1, self.quantum // 2),
+                                self.quantum + self.quantum // 2)
+            stream = streams[slot % len(streams)]
+            for _ in range(burst):
+                if len(accesses) >= num_accesses:
+                    break
+                access = next(stream)
+                accesses.append(TraceAccess(
+                    pc=access.pc + pc_offset,
+                    address=access.address + address_offset,
+                    is_write=access.is_write,
+                    instructions_since_last=access.instructions_since_last,
+                    is_prefetch=access.is_prefetch,
+                ))
+            slot += 1
+        return accesses

@@ -6,9 +6,9 @@ import random
 import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional
 
-from repro.errors import UnknownNameError
+from repro.errors import DuplicateNameError, UnknownNameError
 from repro.workloads.symbols import BinaryImage
 from repro.workloads.trace import MemoryTrace, TraceAccess
 
@@ -44,6 +44,9 @@ class WorkloadGenerator(ABC):
 
     #: canonical workload name (``astar``, ``lbm``, ``mcf``, ...)
     name: str = "workload"
+    #: registry kind: ``"synthetic"`` here; ingested traces report
+    #: ``"ingested"`` (see :mod:`repro.workloads.ingest`).
+    kind: str = "synthetic"
     #: one-line description stored in the trace database
     description: str = ""
     #: dominant access pattern summary (used by workload-analysis answers)
@@ -108,27 +111,86 @@ class WorkloadGenerator(ABC):
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
-_REGISTRY: Dict[str, Type[WorkloadGenerator]] = {}
+#: name -> factory.  A factory is anything callable as ``factory(seed=...)``
+#: returning a generator-like object (``generate``/``description``), with
+#: ``name``/``kind``/``description`` readable as attributes without calling
+#: it: generator classes qualify directly, and ingested-trace entries
+#: (:mod:`repro.workloads.ingest`) register lazy-loading factory objects.
+WorkloadFactory = Callable[..., "WorkloadGenerator"]
+
+_REGISTRY: Dict[str, WorkloadFactory] = {}
 
 
-def register_workload(cls: Type[WorkloadGenerator]) -> Type[WorkloadGenerator]:
-    """Class decorator registering a generator under its ``name``."""
-    _REGISTRY[cls.name] = cls
-    return cls
+def _load_builtin_workloads() -> None:
+    # Imported lazily to avoid a circular import at module load time.
+    from repro.workloads import spec as _spec  # noqa: F401
+    from repro.workloads import microbench as _microbench  # noqa: F401
+    from repro.workloads import composite as _composite  # noqa: F401
+
+
+def register_workload(factory: WorkloadFactory) -> WorkloadFactory:
+    """Register a generator class (decorator) or factory under its ``name``.
+
+    Registering a name twice raises :class:`DuplicateNameError` — silently
+    overwriting would let e.g. an ingested trace shadow a synthetic
+    generator and change every later session's answers without a trace.
+    Re-registering the *same* factory object is an idempotent no-op (module
+    reloads do this).
+    """
+    name = factory.name
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise DuplicateNameError(
+            f"workload {name!r} is already registered "
+            f"({getattr(existing, 'kind', 'synthetic')}); unregister it "
+            f"first or pick another name")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registered workload (no-op when absent)."""
+    _REGISTRY.pop(name, None)
 
 
 def available_workloads() -> List[str]:
     """Names of all registered workloads."""
-    # Import here to avoid a circular import at module load time.
-    from repro.workloads import spec as _spec  # noqa: F401
-    from repro.workloads import microbench as _microbench  # noqa: F401
+    _load_builtin_workloads()
     return sorted(_REGISTRY)
+
+
+def workload_kind(name: str) -> str:
+    """``"synthetic"`` or ``"ingested"`` for a registered name."""
+    return workload_info(name)["kind"]
+
+
+def workload_info(name: str) -> Dict[str, str]:
+    """Registry metadata for one workload, without instantiating it.
+
+    Reads the factory's attributes only — an ingested workload's trace is
+    *not* loaded — so listings stay cheap.
+    """
+    _load_builtin_workloads()
+    if name not in _REGISTRY:
+        raise UnknownNameError(
+            f"unknown workload {name!r}; available: {available_workloads()}")
+    factory = _REGISTRY[name]
+    return {
+        "name": name,
+        "kind": getattr(factory, "kind", "synthetic"),
+        "description": getattr(factory, "description", ""),
+        "dominant_pattern": getattr(factory, "dominant_pattern", ""),
+    }
+
+
+def available_workload_info() -> List[Dict[str, str]]:
+    """:func:`workload_info` for every registered workload, name-sorted."""
+    return [workload_info(name) for name in available_workloads()]
 
 
 def get_workload(name: str, seed: int = 0) -> WorkloadGenerator:
     """Instantiate a registered workload generator by name."""
-    from repro.workloads import spec as _spec  # noqa: F401
-    from repro.workloads import microbench as _microbench  # noqa: F401
+    _load_builtin_workloads()
     if name not in _REGISTRY:
         raise UnknownNameError(
             f"unknown workload {name!r}; available: {available_workloads()}")

@@ -165,6 +165,18 @@ class BinaryImage:
         self.functions.append(function)
         return function
 
+    def adopt_function(self, function: FunctionImage) -> FunctionImage:
+        """Register a pre-built function (and its PC maps) in this image.
+
+        Used by composite workloads that merge (rebased copies of) other
+        workloads' functions into one program image.
+        """
+        for instruction in function.instructions:
+            self._pc_to_function[instruction.pc] = function
+            self._pc_to_instruction[instruction.pc] = instruction
+        self.functions.append(function)
+        return function
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------

@@ -1,0 +1,252 @@
+"""Workload suite: composite generators, registry contracts, CLI guards.
+
+Covers the two new synthetic generator families (phased, interleaved), the
+registry's duplicate/unknown-name error paths, and the cross-process
+determinism guarantee every synthetic workload must uphold (fingerprints
+are content hashes, so CacheMindBench ground truths survive process
+boundaries).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.errors import DuplicateNameError, UnknownNameError
+from repro.workloads.composite import InterleavedWorkload, PhasedWorkload
+from repro.workloads.generator import (
+    available_workload_info,
+    available_workloads,
+    generate_trace,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_info,
+    workload_kind,
+)
+
+SUBPROCESS_SEED = 3
+SUBPROCESS_LENGTH = 600
+
+
+def synthetic_names():
+    return [info["name"] for info in available_workload_info()
+            if info["kind"] == "synthetic"]
+
+
+# ----------------------------------------------------------------------
+# phased workload
+# ----------------------------------------------------------------------
+def test_phased_registered_and_deterministic():
+    assert "phased" in available_workloads()
+    assert workload_kind("phased") == "synthetic"
+    first = generate_trace("phased", num_accesses=1200, seed=7)
+    second = generate_trace("phased", num_accesses=1200, seed=7)
+    assert first.fingerprint() == second.fingerprint()
+    assert len(first) == 1200
+    other_seed = generate_trace("phased", num_accesses=1200, seed=8)
+    assert other_seed.fingerprint() != first.fingerprint()
+
+
+def test_phased_phase_structure():
+    generator = PhasedWorkload(seed=0)
+    trace = generator.generate(1000)
+    lengths = generator._phase_lengths(1000)
+    assert sum(lengths) == 1000
+    addresses = list(trace.columns()[1])
+    regions = (PhasedWorkload.REGION_STREAM, PhasedWorkload.REGION_HOT,
+               PhasedWorkload.REGION_RANDOM, PhasedWorkload.REGION_STRIDE)
+    position = 0
+    for region, length in zip(regions, lengths):
+        window = addresses[position:position + length]
+        assert all(region <= address < region + 0x100000000
+                   for address in window), f"phase at {position} leaked"
+        position += length
+    # The streaming phase is sequential; the hot phase reuses a small set.
+    stream = addresses[:lengths[0]]
+    assert stream == sorted(stream)
+    hot = addresses[lengths[0]:lengths[0] + lengths[1]]
+    assert len(set(hot)) <= PhasedWorkload.HOT_BLOCKS
+
+
+def test_phased_custom_schedule_and_validation():
+    generator = PhasedWorkload(seed=0, phases=[("hot", 1.0)])
+    trace = generator.generate(300)
+    assert all(PhasedWorkload.REGION_HOT <= address
+               < PhasedWorkload.REGION_HOT + 0x100000000
+               for address in trace.columns()[1])
+    with pytest.raises(ValueError, match="unknown phase pattern"):
+        PhasedWorkload(phases=[("zigzag", 1.0)])
+    with pytest.raises(ValueError, match="at least one phase"):
+        PhasedWorkload(phases=[])
+    with pytest.raises(ValueError, match="fractions must be positive"):
+        PhasedWorkload(phases=[("hot", 0.0)])
+
+
+# ----------------------------------------------------------------------
+# interleaved workload
+# ----------------------------------------------------------------------
+def test_interleaved_registered_and_deterministic():
+    assert "interleaved" in available_workloads()
+    first = generate_trace("interleaved", num_accesses=1000, seed=2)
+    second = generate_trace("interleaved", num_accesses=1000, seed=2)
+    assert first.fingerprint() == second.fingerprint()
+    assert len(first) == 1000
+
+
+def test_interleaved_components_stay_disjoint():
+    trace = InterleavedWorkload(seed=0).generate(1000)
+    pcs, addresses = list(trace.columns()[0]), list(trace.columns()[1])
+    slots = [address // InterleavedWorkload.ADDRESS_OFFSET
+             for address in addresses]
+    # Both programs actually run, in disjoint address/PC regions.
+    assert set(slots) == {0, 1}
+    for pc, slot in zip(pcs, slots):
+        assert pc // InterleavedWorkload.PC_OFFSET == slot
+
+
+def test_interleaved_preserves_component_prefixes():
+    # Slot 0 is rebased by offset 0, so filtering its accesses out of the
+    # interleaved stream must reproduce a prefix of the component's own
+    # trace: contention changes scheduling, never the program.
+    trace = InterleavedWorkload(seed=0).generate(800)
+    component = generate_trace("astar", num_accesses=800, seed=0)
+    slot0 = [(pc, address) for pc, address
+             in zip(trace.columns()[0], trace.columns()[1])
+             if address < InterleavedWorkload.ADDRESS_OFFSET]
+    expected = list(zip(component.columns()[0], component.columns()[1]))
+    assert slot0 == expected[:len(slot0)]
+    assert len(slot0) > 0
+
+
+def test_interleaved_binary_names_components():
+    generator = InterleavedWorkload(seed=0)
+    names = [function.name for function in generator.binary.functions]
+    assert any(name.endswith("@astar") for name in names)
+    assert any(name.endswith("@mcf") for name in names)
+
+
+def test_interleaved_validation():
+    with pytest.raises(ValueError, match="at least two"):
+        InterleavedWorkload(components=["astar"])
+    with pytest.raises(ValueError, match="cannot contain itself"):
+        InterleavedWorkload(components=["astar", "interleaved"])
+    with pytest.raises(ValueError, match="quantum must be positive"):
+        InterleavedWorkload(quantum=0)
+    with pytest.raises(UnknownNameError):
+        InterleavedWorkload(components=["astar", "nonexistent"])
+
+
+# ----------------------------------------------------------------------
+# registry contracts (S1)
+# ----------------------------------------------------------------------
+def test_register_workload_duplicate_name_raises():
+    class Impostor:
+        name = "astar"
+        kind = "synthetic"
+
+    with pytest.raises(DuplicateNameError, match="already registered"):
+        register_workload(Impostor)
+    # Re-registering the same factory object is an idempotent no-op.
+    factory = type(get_workload("astar"))
+    assert register_workload(factory) is factory
+
+
+def test_unknown_workload_errors_list_alternatives():
+    with pytest.raises(UnknownNameError, match="available:"):
+        get_workload("no_such_workload")
+    with pytest.raises(UnknownNameError, match="no_such_workload"):
+        workload_info("no_such_workload")
+    # unregistering an absent name is a documented no-op
+    unregister_workload("no_such_workload")
+
+
+def test_generate_rejects_non_positive_length():
+    with pytest.raises(ValueError, match="num_accesses must be positive"):
+        generate_trace("astar", num_accesses=0)
+    with pytest.raises(ValueError, match="num_accesses must be positive"):
+        generate_trace("phased", num_accesses=-5)
+
+
+# ----------------------------------------------------------------------
+# cross-process determinism (S3)
+# ----------------------------------------------------------------------
+def test_every_synthetic_workload_is_fingerprint_stable_across_processes():
+    names = synthetic_names()
+    assert {"astar", "lbm", "mcf", "phased", "interleaved"} <= set(names)
+    local = {name: generate_trace(name, num_accesses=SUBPROCESS_LENGTH,
+                                  seed=SUBPROCESS_SEED).fingerprint()
+             for name in names}
+    script = (
+        "import json, sys\n"
+        "from repro.workloads.generator import (available_workload_info,\n"
+        "                                       generate_trace)\n"
+        f"names = {names!r}\n"
+        "print(json.dumps({name: generate_trace(\n"
+        f"    name, num_accesses={SUBPROCESS_LENGTH},"
+        f" seed={SUBPROCESS_SEED}).fingerprint()\n"
+        "    for name in names}))\n"
+    )
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root
+    output = subprocess.run([sys.executable, "-c", script], env=env,
+                            capture_output=True, text=True, check=True,
+                            timeout=120).stdout
+    remote = json.loads(output)
+    assert remote == local
+
+
+# ----------------------------------------------------------------------
+# CLI guards and listings
+# ----------------------------------------------------------------------
+def test_cli_rejects_non_positive_accesses(capsys):
+    code = main(["simulate", "--workload", "astar", "--policy", "lru",
+                 "--config", "tiny", "--accesses", "0"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "--accesses must be a positive access count" in err
+    assert "Traceback" not in err
+
+
+def test_cli_rejects_negative_accesses_for_ask(capsys):
+    code = main(["ask", "--accesses", "-3",
+                 "What is the miss rate of lru on astar?"])
+    assert code == 1
+    assert "--accesses must be a positive access count" in \
+        capsys.readouterr().err
+
+
+def test_cli_list_includes_composite_generators(capsys):
+    assert main(["simulate", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "phased" in out and "interleaved" in out
+    assert "[synthetic]" in out
+    # Descriptions ride along so the listing is self-explanatory.
+    assert "phase-structured" in out
+    assert "time-sliced" in out
+
+
+def test_cli_simulate_runs_phased_workload(capsys):
+    code = main(["simulate", "--workload", "phased", "--policy", "lru",
+                 "--config", "tiny", "--accesses", "400"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phased under lru" in out
+    assert "400 LLC accesses" in out
+
+
+def test_cli_experiment_sweeps_composite_workloads(capsys):
+    code = main(["experiment", "run", "--workloads", "phased,interleaved",
+                 "--policies", "lru,belady", "--configs", "tiny",
+                 "--accesses", "400"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out
+    assert "phased" in out and "interleaved" in out
