@@ -22,7 +22,10 @@ Layer stack (each importable as ``repro.<layer>``):
   the :class:`CacheMind` facade tying all of the above together,
 * :mod:`repro.serve`     -- the serving subsystem: the thread-safe
   :class:`CacheMindService`, the concurrent JSON-lines
-  :class:`CacheMindServer` and the matching :class:`RemoteClient`.
+  :class:`CacheMindServer` and the matching :class:`RemoteClient`,
+* :mod:`repro.faults`    -- deterministic fault injection (seeded
+  :class:`FaultPlan` rules fired at named :func:`fault_point` hooks) for
+  chaos-testing the store, parallel builds and the serving stack.
 
 ``python -m repro`` exposes the ``simulate``, ``ask``, ``bench``,
 ``experiment``, ``store`` and ``serve`` subcommands over the same facade.
@@ -37,10 +40,21 @@ from repro.core.experiment import (
 )
 from repro.core.plan import AskRequest, QueryPlan, QueryPlanner
 from repro.core.pipeline import SIMULATION_CACHE, CacheMind, SimulationCache
-from repro.serve.client import RemoteClient
+from repro.serve.client import (
+    DeadlineExceeded,
+    RemoteClient,
+    RemoteError,
+    ServerOverloadedError,
+    ServerShuttingDownError,
+)
 from repro.serve.server import CacheMindServer
 from repro.serve.service import CacheMindService
-from repro.errors import StoreVersionError, UnknownNameError
+from repro.errors import (
+    DeadlineExceededError,
+    StoreVersionError,
+    UnknownNameError,
+)
+from repro.faults import FaultPlan, FaultRule, InjectedFault, fault_point
 from repro.core.query import QueryIntent, QueryParser
 from repro.llm.backend import (
     LLMBackend,
@@ -92,6 +106,16 @@ __all__ = [
     "CacheMindService",
     "CacheMindServer",
     "RemoteClient",
+    "RemoteError",
+    "ServerOverloadedError",
+    "ServerShuttingDownError",
+    "DeadlineExceeded",
+    "DeadlineExceededError",
+    # fault injection / chaos testing
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "fault_point",
     # declarative experiment API
     "ExperimentSpec",
     "ExperimentResult",

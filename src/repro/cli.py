@@ -300,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-warm-up", action="store_true",
                        help="skip the eager database build (first request "
                             "pays for it instead)")
+    serve.add_argument("--max-in-flight", type=int, default=32,
+                       help="admission-control cap: requests beyond this "
+                            "many in flight are shed with a structured "
+                            "'overloaded' error (default: 32)")
 
     store = subparsers.add_parser(
         "store", help="manage the persistent on-disk simulation store")
@@ -325,6 +329,15 @@ def build_parser() -> argparse.ArgumentParser:
     store_info = store_sub.add_parser(
         "info", help="print store schema, record counts and size")
     store_info.add_argument("--dir", required=True, metavar="DIR")
+
+    store_verify = store_sub.add_parser(
+        "verify", help="deep-check every record (payloads and filename "
+                       "digests); --repair quarantines damage")
+    store_verify.add_argument("--dir", required=True, metavar="DIR")
+    store_verify.add_argument("--repair", action="store_true",
+                              help="quarantine corrupt records, delete "
+                                   "orphaned temp files and rebuild a "
+                                   "corrupt manifest")
 
     store_gc = store_sub.add_parser(
         "gc", help="drop corrupt/foreign records; optionally prune by age")
@@ -418,6 +431,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_remote_error(action: str, address: str,
+                         error: BaseException) -> int:
+    """One-line report for a failed --remote call; returns exit code 1.
+
+    Every remote CLI path shares this so failures consistently name the
+    resolved host:port, the errno (when the OS supplied one) and the
+    server's structured error kind, plus a retry hint — transient
+    failures (restarts, overload sheds) are expected under chaos and the
+    right response is usually to retry.
+    """
+    from repro.serve.client import parse_address
+
+    try:
+        host, port = parse_address(address)
+        where = f"{host}:{port}"
+    except ValueError:
+        where = repr(address)
+    details = [f"server {where}"]
+    number = getattr(error, "errno", None)
+    if number is not None:
+        details.append(f"errno {number}")
+    kind = getattr(error, "kind", None)
+    if kind:
+        details.append(f"kind {kind}")
+    print(f"error: remote {action} failed: {error} ({'; '.join(details)}). "
+          f"If the server is restarting or overloaded, retrying usually "
+          f"succeeds — idempotent requests already back off automatically.",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_ask(args: argparse.Namespace) -> int:
     import json
 
@@ -438,8 +482,7 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         except (OSError, ValueError, RemoteError) as error:
             # ValueError covers malformed addresses and non-JSON replies
             # (json.JSONDecodeError) from something that isn't our server.
-            print(f"error: remote ask failed: {error}", file=sys.stderr)
-            return 1
+            return _report_remote_error("ask", args.remote, error)
     else:
         session = _make_session(args, backend=args.backend,
                                 prompting=args.prompting,
@@ -480,7 +523,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"warmed up in {time.perf_counter() - start:.3f}s "
               f"({stats['misses']} simulated, {stats['hits']} cached, "
               f"{stats['store_hits']} from store)", flush=True)
-    server = CacheMindServer(service, host=args.host, port=args.port)
+    server = CacheMindServer(service, host=args.host, port=args.port,
+                             max_in_flight=args.max_in_flight)
     host, port = server.address
     # The ready line is machine-parsed by smoke tests: keep its shape.
     print(f"serving CacheMind on {host}:{port} "
@@ -489,7 +533,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"backend {session.backend.name})", flush=True)
     print("protocol: one JSON object per line "
           '(e.g. {"op": "ask", "question": "..."}); '
-          "ops: ask, batch, stats, ping", flush=True)
+          "ops: ask, batch, stats, health, ping", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -611,9 +655,7 @@ def _cmd_experiment_run(args: argparse.Namespace) -> int:
             with RemoteClient(args.remote, timeout=600.0) as client:
                 result = client.experiment(spec)
         except (OSError, ValueError, RemoteError) as error:
-            print(f"error: remote experiment failed: {error}",
-                  file=sys.stderr)
-            return 1
+            return _report_remote_error("experiment", args.remote, error)
     else:
         session = CacheMind(
             workloads=spec.workloads, policies=spec.policies,
@@ -733,7 +775,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
     # Read-only commands must not conjure an empty store out of a typo'd
     # path; only save/load (which build) may create the directory.
-    if args.store_command in ("info", "gc") and not os.path.isdir(args.dir):
+    if (args.store_command in ("info", "gc", "verify")
+            and not os.path.isdir(args.dir)):
         print(f"error: no trace store at {args.dir!r}", file=sys.stderr)
         return 1
 
@@ -745,9 +788,40 @@ def _cmd_store(args: argparse.Namespace) -> int:
               f"({info['entries']} entries, {info['results']} results, "
               f"{info['experiments']} experiments, "
               f"{info['traces']} traces, "
-              f"{info['unreadable']} unreadable)")
+              f"{info['unreadable']} unreadable, "
+              f"{info['quarantined']} quarantined)")
         print(f"  size: {info['total_bytes'] / 1024:.1f} KiB")
         return 0
+
+    if args.store_command == "verify":
+        # strict=False: verify must *report* whatever is on disk (including
+        # a corrupt manifest) rather than auto-heal it on open; --repair is
+        # the explicit healing step.
+        report = TraceStore(args.dir, strict=False).verify(
+            repair=args.repair)
+        by_kind = report["by_kind"]
+        print(f"store verify: {report['root']}")
+        print(f"  checked {report['checked']} record(s): {report['ok']} ok "
+              f"({by_kind['entry']} entries, {by_kind['result']} results, "
+              f"{by_kind['experiment']} experiments, "
+              f"{by_kind['trace']} traces)")
+        print(f"  manifest: {report['manifest']}")
+        for label in ("corrupt", "misplaced", "foreign", "temp"):
+            for name in report[label]:
+                print(f"  {label}: {name}")
+        if report["repaired"]:
+            print(f"  repaired: quarantined {len(report['quarantined'])} "
+                  f"file(s), removed {len(report['removed_temp'])} temp "
+                  f"file(s)")
+        if report["clean"]:
+            print("  store is clean")
+            return 0
+        hint = ("foreign records need `store gc`" if args.repair
+                else "run `python -m repro store verify --dir "
+                     f"{args.dir} --repair`")
+        print(f"error: store verification found problems ({hint})",
+              file=sys.stderr)
+        return 1
 
     if args.store_command == "gc":
         # strict=False: gc is the documented recovery path for a store

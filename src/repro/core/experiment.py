@@ -53,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import warnings
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -71,6 +72,7 @@ from repro.policies.base import get_policy
 from repro.sim.config import HierarchyConfig, resolve_config
 from repro.sim.engine import SimulationEngine
 from repro.sim.parallel import ParallelSimulator, SimulationJob
+from repro.tracedb.store import StoreCorruptionWarning
 from repro.workloads.generator import get_workload, workload_kind
 from repro.workloads.ingest import ensure_store_traces_registered
 
@@ -645,7 +647,15 @@ class ExperimentRunner:
                      "execute": execute_seconds,
                      "total": total_seconds})
         if cache.store is not None:
-            result.save(cache.store)
+            # The store is an accelerator: a failed persist must not lose
+            # the freshly computed in-memory result.
+            try:
+                result.save(cache.store)
+            except OSError as error:
+                warnings.warn(
+                    f"experiment result persist failed ({error!r}); "
+                    f"continuing without persistence",
+                    StoreCorruptionWarning, stacklevel=2)
         return result
 
     # ------------------------------------------------------------------

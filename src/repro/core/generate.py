@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Tuple
 
 from repro.core.answer import Answer
+from repro.faults import fault_point
 from repro.core.query import (
     ARITHMETIC,
     CODE_GENERATION,
@@ -76,6 +77,7 @@ class AnswerGenerator:
                  memory_block: str = "") -> Answer:
         prompt = self.prompt_builder.build(intent.question, context.text,
                                            memory_block=memory_block)
+        fault_point("backend.generate")
         self.backend.generate(GenerationRequest(
             prompt=prompt, system_prompt=GENERATOR_SYSTEM_PROMPT))
 

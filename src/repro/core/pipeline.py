@@ -37,6 +37,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -87,7 +88,7 @@ from repro.tracedb.database import (
     TraceEntry,
     make_entry,
 )
-from repro.tracedb.store import TraceStore, simulation_key
+from repro.tracedb.store import StoreCorruptionWarning, TraceStore, simulation_key
 from repro.workloads.generator import get_workload, workload_kind
 from repro.workloads.ingest import ensure_store_traces_registered
 from repro.workloads.trace import MemoryTrace
@@ -213,6 +214,22 @@ class SimulationCache:
         # (content fingerprint, config, mode, detail, record cap, ...).
         return simulation_key(engine, trace, policy_name)
 
+    @staticmethod
+    def _store_save(save, *args) -> None:
+        """Persist a record, degrading to a warning on I/O failure.
+
+        The store is an accelerator, not the source of truth: a full disk
+        or injected write fault must not fail the request whose result is
+        already computed and memoised in memory.
+        """
+        try:
+            save(*args)
+        except OSError as error:
+            warnings.warn(
+                f"trace store write failed ({error!r}); continuing without "
+                f"persistence for this record",
+                StoreCorruptionWarning, stacklevel=3)
+
     def _install_entry(self, sim_key: tuple, entry_key: tuple,
                        entry: "TraceEntry") -> None:
         """Memoise a loaded/computed entry plus its embedded result
@@ -248,7 +265,7 @@ class SimulationCache:
             self._put(self._results, key, result)
             self._misses += 1
         if self.store is not None:
-            self.store.save_result(key, result)
+            self._store_save(self.store.save_result, key, result)
         return result
 
     def lookup_result(self, engine: SimulationEngine, trace: MemoryTrace,
@@ -300,7 +317,7 @@ class SimulationCache:
             self._put(self._results, key, result)
             self._misses += 1
         if self.store is not None:
-            self.store.save_result(key, result)
+            self._store_save(self.store.save_result, key, result)
 
     def get_entry(self, engine: SimulationEngine, trace: MemoryTrace,
                   policy_name: str, description: str = "") -> "TraceEntry":
@@ -335,7 +352,7 @@ class SimulationCache:
         with self._lock:
             self._put(self._entries, key, entry)
         if self.store is not None:
-            self.store.save_entry(key, entry)
+            self._store_save(self.store.save_entry, key, entry)
         return entry
 
     def lookup_entry(self, engine: SimulationEngine, trace: MemoryTrace,
@@ -389,9 +406,9 @@ class SimulationCache:
             self._put(self._entries, key + (description,), entry)
             self._misses += 1
         if self.store is not None:
-            self.store.save_entry(key + (description,), entry)
+            self._store_save(self.store.save_entry, key + (description,), entry)
             if entry.result is not None:
-                self.store.save_result(key, entry.result)
+                self._store_save(self.store.save_result, key, entry.result)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -34,6 +34,16 @@ class TraceParseError(ValueError):
     """
 
 
+class DeadlineExceededError(RuntimeError):
+    """A serving request ran out of its per-op deadline.
+
+    Raised server-side when a request's ``deadline_ms`` budget expires while
+    the request is queued behind the serving lock (or before execution
+    starts).  The server maps it to a structured ``kind="deadline"`` error
+    reply instead of letting the request run arbitrarily late.
+    """
+
+
 class StoreVersionError(RuntimeError):
     """A persistent trace store was written with an incompatible schema.
 

@@ -1,0 +1,51 @@
+"""Deterministic fault injection (`repro.faults`).
+
+See :mod:`repro.faults.plan` for the full story.  Typical chaos test::
+
+    from repro.faults import FaultPlan, FaultRule, process_scope
+
+    plan = FaultPlan([FaultRule(point="store.write", action="truncate", nth=2)],
+                     seed=7)
+    with process_scope(plan):
+        ...  # run the path under test; the 2nd store write is torn
+
+Production code only ever imports :func:`fault_point` (and, in pool
+workers, :func:`ensure_env_plan`).
+"""
+
+from repro.faults.plan import (
+    ENV_PLAN_VAR,
+    FAULT_ACTIONS,
+    FAULT_ERRORS,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    ensure_env_plan,
+    env_scope,
+    fault_point,
+    process_scope,
+    thread_scope,
+    _install_env_plan,
+)
+
+__all__ = [
+    "ENV_PLAN_VAR",
+    "FAULT_ACTIONS",
+    "FAULT_ERRORS",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "ensure_env_plan",
+    "env_scope",
+    "fault_point",
+    "process_scope",
+    "thread_scope",
+]
+
+# Bootstrap a plan exported by a parent process (CLI chaos smoke tests set
+# REPRO_FAULT_PLAN before spawning `python -m repro ...`).
+_install_env_plan()

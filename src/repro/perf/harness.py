@@ -16,6 +16,10 @@ The suite times, on the bundled workloads:
 * trace ingestion (``ingestion``: parse throughput in accesses/sec for the
   text/CSV and ChampSim-like binary trace formats, round-tripped through
   the ``repro.workloads.ingest`` writers),
+* resilience plumbing (``resilience``: the per-call cost of the inactive
+  :func:`repro.faults.fault_point` hook — which rides on every store
+  read/write, pool job and socket round trip, so it must stay in the
+  nanoseconds — and deep ``store verify`` throughput in records/sec),
 
 and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
 revisions, so consecutive reports are directly comparable.  ``--quick``
@@ -226,8 +230,44 @@ def run_perf_suite(quick: bool = False,
     store_warm.meta["cache_stats"] = dict(warm_store_stats)
     timings.append(store_warm)
     store_info = TraceStore(store_path).info()
+
+    # --- resilience: store verify throughput, fault-point overhead --------
+    # Verify runs while the store is still populated from the warm-start
+    # section, so the records/sec number reflects real record sizes.
+    from repro.faults import fault_point
+
+    verify_report: Dict[str, object] = {}
+
+    def store_verify():
+        verify_report.update(TraceStore(store_path).verify())
+
+    verify_timing = _measure("store/verify", store_verify, repeats,
+                             store_dir=store_path)
+    timings.append(verify_timing)
     if cleanup_store:
         shutil.rmtree(store_path, ignore_errors=True)
+
+    noop_calls = 20000 if quick else 200000
+
+    def fault_point_noop():
+        for _ in range(noop_calls):
+            fault_point("store.read")
+
+    noop_timing = _measure("faults/fault_point_noop", fault_point_noop,
+                           repeats, calls=noop_calls)
+    timings.append(noop_timing)
+    fault_point_ns = (noop_timing.seconds / noop_calls * 1e9
+                      if noop_calls else None)
+    verify_rate = (verify_report.get("checked", 0) / verify_timing.seconds
+                   if verify_timing.seconds > 0 else None)
+    resilience_section = {
+        "fault_point_calls": noop_calls,
+        "fault_point_ns_per_call": fault_point_ns,
+        "verify_seconds": verify_timing.seconds,
+        "verify_records": verify_report.get("checked"),
+        "verify_records_per_second": verify_rate,
+        "verify_clean": verify_report.get("clean"),
+    }
 
     # --- serving: batch-ask throughput and latency percentiles -----------
     # In-process service (no sockets: CI sandboxes and the numbers should
@@ -393,6 +433,8 @@ def run_perf_suite(quick: bool = False,
         "experiment_warm_speedup": experiment_section["warm_speedup"],
         "ingest_text_accesses_per_s": ingest_text_rate,
         "ingest_champsim_accesses_per_s": ingest_champsim_rate,
+        "fault_point_ns_per_call": fault_point_ns,
+        "store_verify_records_per_s": verify_rate,
     }
     if parallel is not None:
         derived["parallel_build_speedup"] = (
@@ -434,6 +476,7 @@ def run_perf_suite(quick: bool = False,
         "serving": serving,
         "experiment": experiment_section,
         "ingestion": ingestion_section,
+        "resilience": resilience_section,
     }
 
 
@@ -505,4 +548,14 @@ def format_report(report: Dict[str, object]) -> str:
             f"{ingestion_section['champsim_accesses_per_second']:,.0f} "
             f"accesses/s ({ingestion_section['accesses']} accesses, "
             f"workload {ingestion_section['workload']})")
+    resilience_section = report.get("resilience")
+    if resilience_section and resilience_section.get(
+            "fault_point_ns_per_call") is not None:
+        verify_rate = resilience_section.get("verify_records_per_second")
+        lines.append(
+            f"  resilience: fault_point no-op "
+            f"{resilience_section['fault_point_ns_per_call']:.0f} ns/call, "
+            f"store verify "
+            + (f"{verify_rate:,.0f} records/s " if verify_rate else "")
+            + f"({'clean' if resilience_section.get('verify_clean') else 'UNCLEAN'})")
     return "\n".join(lines)

@@ -43,7 +43,7 @@ Wire protocol (newline-delimited JSON)::
     ← {"ok": true, "result": [{...}, {...}]}
     → {"op": "experiment", "spec": {"workloads": [...], "configs": [...]}}
     ← {"ok": true, "result": {"columns": {...}, "counters": {...}, ...}}
-    → {"op": "stats"}   /   {"op": "ping"}
+    → {"op": "stats"}   /   {"op": "ping"}   /   {"op": "health"}
     ← {"ok": true, "result": {...}}
 
 The ``experiment`` op runs a declarative sweep grid
@@ -52,11 +52,33 @@ through the shared session and returns the lossless
 :class:`~repro.core.experiment.ExperimentResult` dictionary; progress of a
 running sweep is visible in ``stats`` under ``experiments``.
 
-Errors never kill the connection: a malformed line or unknown op yields
-``{"ok": false, "error": "..."}`` and the handler keeps reading.
+Resilience (see the :mod:`repro.serve.server` docstring for the server
+side, :mod:`repro.serve.client` for the client side):
+
+* Errors never kill the connection: a malformed line, unknown op, shed or
+  failed request yields ``{"ok": false, "kind": "...", "error": "..."}``
+  and the handler keeps reading.  ``kind`` is one of ``bad_request``,
+  ``overloaded``, ``shutting_down``, ``deadline``, ``internal``.
+* Requests may carry ``deadline_ms``; the server refuses to execute one
+  whose deadline already passed (``kind="deadline"``) instead of running
+  arbitrarily late, and :class:`RemoteClient` derives ``deadline_ms`` from
+  its per-request ``deadline`` budget so both sides give up together.
+* The ``health`` op reports degradation state (in-flight load, shed and
+  deadline counters, draining flag) and bypasses admission control, so it
+  answers precisely when the server is saturated or draining.
+* :class:`RemoteClient` retries idempotent requests over transport
+  failures and retryable error kinds with seeded, capped exponential
+  backoff — a server restart within the retry budget is invisible.
 """
 
-from repro.serve.client import RemoteClient, parse_address
+from repro.serve.client import (
+    DeadlineExceeded,
+    RemoteClient,
+    RemoteError,
+    ServerOverloadedError,
+    ServerShuttingDownError,
+    parse_address,
+)
 from repro.serve.server import CacheMindServer
 from repro.serve.service import CacheMindService
 
@@ -64,5 +86,9 @@ __all__ = [
     "CacheMindService",
     "CacheMindServer",
     "RemoteClient",
+    "RemoteError",
+    "ServerOverloadedError",
+    "ServerShuttingDownError",
+    "DeadlineExceeded",
     "parse_address",
 ]

@@ -31,6 +31,7 @@ from repro.core.experiment import (
 )
 from repro.core.pipeline import CacheMind
 from repro.core.plan import AskRequest, as_request
+from repro.errors import DeadlineExceededError
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -110,17 +111,33 @@ class CacheMindService:
         return self.ask_batch([as_request(request, retriever=retriever)])[0]
 
     def ask_batch(self, requests: Sequence[Union[str, AskRequest]],
-                  retriever: Optional[str] = None) -> List[AskResponse]:
+                  retriever: Optional[str] = None,
+                  deadline_at: Optional[float] = None) -> List[AskResponse]:
         """Serve a batch over one merged execution (thread-safe).
 
         Duplicate simulation jobs across the batch are merged by the
         planner and simulated once; per-request latency lands in the
         service's sliding window for the percentile stats.
+
+        ``deadline_at`` (a ``time.monotonic()`` instant) bounds how long
+        the batch may wait behind other in-flight batches for the serving
+        lock: once the deadline passes while queued,
+        :class:`~repro.errors.DeadlineExceededError` is raised instead of
+        executing arbitrarily late.
         """
         coerced = [as_request(request, retriever=retriever)
                    for request in requests]
         started = time.perf_counter()
-        with self._lock:
+        if deadline_at is None:
+            self._lock.acquire()
+        else:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0 or not self._lock.acquire(timeout=remaining):
+                raise DeadlineExceededError(
+                    f"request deadline expired after waiting "
+                    f"{time.perf_counter() - started:.3f}s for the serving "
+                    f"lock")
+        try:
             for request in coerced:
                 if not request.request_id:
                     self._next_request_id += 1
@@ -139,6 +156,8 @@ class CacheMindService:
             for response in responses:
                 self._latencies.append(
                     response.timings.get("total", elapsed))
+        finally:
+            self._lock.release()
         return responses
 
     # ------------------------------------------------------------------

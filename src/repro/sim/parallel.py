@@ -4,10 +4,12 @@
 ``concurrent.futures`` executor — a process pool by default, with automatic
 fallback to threads and then to serial execution when process pools are
 unavailable (restricted environments, unpicklable payloads, missing ``fork``
-support).  Results come back in submission order, so a parallel build is
-byte-identical to a serial one: workloads regenerate deterministically in the
-workers (crc32-seeded generators) and every policy is deterministic given its
-seed.
+support).  A crashed worker (``BrokenProcessPool``) no longer kills the whole
+build: only the jobs that failed are re-dispatched into a fresh pool and, if
+that fails too, run serially in the caller.  Results come back in submission
+order and every job is deterministic (crc32-seeded workload generators,
+seeded policies), so a recovered build is byte-identical to a clean one.
+Recovery telemetry for the last run is in :attr:`ParallelSimulator.recovery`.
 
 The simulator is deliberately cache-agnostic: callers that memoise (the
 :class:`~repro.core.pipeline.SimulationCache`) dispatch only their cache
@@ -21,12 +23,14 @@ import os
 import pickle
 from concurrent.futures import (
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults import InjectedFault, ensure_env_plan, fault_point
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
 from repro.sim.engine import SimulationEngine, SimulationResult
 from repro.workloads.generator import get_workload
@@ -69,8 +73,19 @@ class SimulationJob:
                 self.description, trace_identity)
 
 
+#: Failures that mean the executor *infrastructure* broke — a killed or
+#: crashed worker (``BrokenExecutor``), a sandbox forbidding process spawn
+#: (``OSError``), an unpicklable payload, or an injected chaos fault.
+#: Jobs failing this way are re-dispatched; genuine simulation errors raise
+#: other types and propagate.
+RETRYABLE_FAILURES = (BrokenExecutor, OSError, pickle.PicklingError,
+                      InjectedFault)
+
+
 def _execute_job(payload: tuple):
     """Top-level worker (must be importable for process pools)."""
+    ensure_env_plan()
+    fault_point("worker.simulate")
     (job, config, mode, max_records, detail, want_entry) = payload
     trace = job.trace
     description = job.description
@@ -111,6 +126,12 @@ class ParallelSimulator:
         self.max_records = max_records
         self.detail = detail
         self.last_executor: Optional[str] = None
+        #: Recovery telemetry for the last ``run_*`` call: how many jobs
+        #: were re-dispatched after a pool failure, how many fresh pools
+        #: were spun up, and how many jobs fell back to serial execution.
+        self.recovery: Dict[str, int] = {"retried_jobs": 0,
+                                         "pools_replaced": 0,
+                                         "serial_jobs": 0}
 
     # ------------------------------------------------------------------
     def run_results(self, jobs: Sequence[SimulationJob]) -> List[SimulationResult]:
@@ -153,6 +174,8 @@ class ParallelSimulator:
     def _map_unique(self, jobs: Sequence[SimulationJob],
                     want_entry: bool) -> list:
         payloads = self._payloads(jobs, want_entry)
+        self.recovery = {"retried_jobs": 0, "pools_replaced": 0,
+                         "serial_jobs": 0}
         workers = min(self.jobs, len(payloads)) or 1
         if workers <= 1 or self.executor == "serial":
             self.last_executor = "serial"
@@ -163,22 +186,60 @@ class ParallelSimulator:
             attempts = ("process", "thread")
         else:
             attempts = (self.executor,)
+        results: list = [None] * len(payloads)
+        remaining = list(range(len(payloads)))
+        finished_kind: Optional[str] = None
         for kind in attempts:
             pool_cls = (ProcessPoolExecutor if kind == "process"
                         else ThreadPoolExecutor)
-            try:
-                with pool_cls(max_workers=workers) as pool:
-                    results = list(pool.map(_execute_job, payloads))
-                self.last_executor = kind
-                return results
-            except (BrokenExecutor, OSError, pickle.PicklingError):
-                # Executor infrastructure failure (sandboxed environment
-                # forbidding process spawn, unpicklable payload, killed
-                # worker).  Genuine simulation errors raise other exception
-                # types and propagate to the caller.  Only "auto" may
-                # degrade: an explicitly requested executor must either run
-                # or fail loudly.
-                if self.executor != "auto":
-                    raise
-        self.last_executor = "serial"
-        return [_execute_job(payload) for payload in payloads]
+            # Two rounds per executor kind: the original pool, then — if any
+            # job failed retryably (e.g. a crashed worker broke the pool) —
+            # one fresh pool running only the failed jobs.
+            for round_index in range(2):
+                if not remaining:
+                    break
+                if round_index:
+                    self.recovery["pools_replaced"] += 1
+                    self.recovery["retried_jobs"] += len(remaining)
+                remaining = self._run_pool(pool_cls, workers, payloads,
+                                           results, remaining)
+            if not remaining:
+                finished_kind = kind
+                break
+        if remaining:
+            # Last resort: the failed jobs run serially in this process.
+            # Determinism makes the recovered results identical to a clean
+            # parallel run's.
+            self.recovery["serial_jobs"] = len(remaining)
+            for index in remaining:
+                results[index] = _execute_job(payloads[index])
+            finished_kind = "serial"
+        self.last_executor = finished_kind
+        return results
+
+    def _run_pool(self, pool_cls, workers: int, payloads: List[tuple],
+                  results: list, indexes: List[int]) -> List[int]:
+        """Run ``payloads[i]`` for each ``i`` in ``indexes`` on one pool,
+        writing successes into ``results``.  Returns the indexes that failed
+        retryably; genuine simulation errors propagate."""
+        try:
+            pool = pool_cls(max_workers=min(workers, len(indexes)) or 1)
+        except RETRYABLE_FAILURES:
+            return list(indexes)
+        failed: List[int] = []
+        futures: List[Tuple[int, Future]] = []
+        try:
+            for index in indexes:
+                try:
+                    futures.append((index,
+                                    pool.submit(_execute_job, payloads[index])))
+                except RETRYABLE_FAILURES:
+                    failed.append(index)
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except RETRYABLE_FAILURES:
+                    failed.append(index)
+        finally:
+            pool.shutdown(wait=True)
+        return failed

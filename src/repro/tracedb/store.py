@@ -28,9 +28,17 @@ content fingerprint, hierarchy config, policy, engine mode/detail and the
 record cap (see :func:`simulation_key`) — mirroring the in-memory memoiser,
 so the two layers always agree on identity.
 
-Robustness: a corrupt or truncated record file is treated as a cache miss —
-the caller rebuilds and overwrites — with a :class:`StoreCorruptionWarning`
-so the degradation is visible.  Writes are atomic (temp file + ``os.replace``)
+Robustness: the store self-heals.  A corrupt or truncated record file of any
+kind is **quarantined** (renamed into ``quarantine/`` so it is never
+re-read-crashed) and treated as a cache miss — the caller rebuilds and
+overwrites — with a :class:`StoreCorruptionWarning` so the degradation is
+visible.  A corrupt manifest is quarantined and rebuilt from the surviving
+record headers (a *readable* manifest declaring a foreign schema still
+raises :class:`~repro.errors.StoreVersionError` — that is a real version
+mismatch, not damage).  :meth:`TraceStore.verify` deep-checks every record
+(magic, header, payload decompression, filename↔key digest) and with
+``repair=True`` quarantines what is broken — exposed as ``python -m repro
+store verify [--repair]``.  Writes are atomic (temp file + ``os.replace``)
 so concurrent sessions sharing a store directory never observe half-written
 records.
 """
@@ -49,9 +57,15 @@ import zlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import StoreVersionError
+from repro.faults import fault_point
 
 #: Bump when the on-disk record layout changes incompatibly.
 STORE_SCHEMA_VERSION = 1
+
+#: Subdirectory corrupt files are renamed into instead of deleted, so a
+#: damaged record can never crash a reader twice and forensics stay
+#: possible.  Its contents are invisible to every read path.
+QUARANTINE_DIR = "quarantine"
 
 #: Magic prefix of every record file (schema v1: pickled header block +
 #: zlib-compressed pickled payload).
@@ -148,27 +162,68 @@ class TraceStore:
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         }, indent=2).encode("utf-8"))
 
-    def _check_or_write_manifest(self, strict: bool) -> None:
+    def _read_manifest_schema(self) -> Tuple[str, Any]:
+        """Classify the manifest: ``("ok", schema)``, ``("corrupt", error)``
+        or ``("missing", None)``."""
         path = self._manifest_path()
-        if os.path.exists(path):
-            if not strict:
-                return
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    manifest = json.load(handle)
-                found = manifest.get("schema")
-            except (OSError, ValueError) as error:
-                raise StoreVersionError(
-                    f"trace store manifest {path!r} is unreadable: {error}")
-            if found != self.schema_version:
-                raise StoreVersionError(
-                    f"trace store at {self.root!r} was written with schema "
-                    f"version {found!r}; this build reads version "
-                    f"{self.schema_version}. Run `python -m repro store gc "
-                    f"--dir {self.root}` (or delete the directory) to "
-                    f"rebuild.")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return ("missing", None)
+        except (OSError, ValueError) as error:
+            return ("corrupt", error)
+        if not isinstance(manifest, dict):
+            return ("corrupt",
+                    ValueError(f"manifest is {type(manifest).__name__}, "
+                               f"not an object"))
+        return ("ok", manifest.get("schema"))
+
+    def _check_or_write_manifest(self, strict: bool) -> None:
+        state, detail = self._read_manifest_schema()
+        if state == "missing":
+            self._write_manifest()
             return
+        if not strict:
+            return
+        if state == "corrupt":
+            self._rebuild_manifest(detail)
+            return
+        if detail != self.schema_version:
+            raise StoreVersionError(
+                f"trace store at {self.root!r} was written with schema "
+                f"version {detail!r}; this build reads version "
+                f"{self.schema_version}. Run `python -m repro store gc "
+                f"--dir {self.root}` (or delete the directory) to "
+                f"rebuild.")
+
+    def _rebuild_manifest(self, error: Any) -> None:
+        """Self-heal an unreadable/corrupt manifest from the record headers.
+
+        Safe only when every readable record declares the current schema (an
+        empty store trivially qualifies); a store full of foreign records is
+        a genuine version mismatch and still refuses to open.
+        """
+        survivors = 0
+        foreign = set()
+        for _name, header in self.iter_records():
+            survivors += 1
+            if header.get("schema") != self.schema_version:
+                foreign.add(header.get("schema"))
+        if foreign:
+            raise StoreVersionError(
+                f"trace store manifest {self._manifest_path()!r} is corrupt "
+                f"({error}) and surviving records declare schema version(s) "
+                f"{sorted(map(repr, foreign))}; run `python -m repro store "
+                f"gc --dir {self.root}` (or delete the directory) to "
+                f"rebuild.")
+        self._quarantine(MANIFEST_NAME)
         self._write_manifest()
+        warnings.warn(
+            f"trace store manifest at {self.root!r} was corrupt ({error!r}); "
+            f"quarantined it and rebuilt from {survivors} surviving record "
+            f"header(s)",
+            StoreCorruptionWarning, stacklevel=3)
 
     def _atomic_write_bytes(self, path: str, data: bytes) -> None:
         handle, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -189,10 +244,16 @@ class TraceStore:
     def _record_path(self, kind: str, key: tuple) -> str:
         return os.path.join(self.root, f"{kind}-{key_digest(key)}.pkl")
 
+    #: Failures decoding a record's *content*: the file on disk is damaged
+    #: (torn write, bit rot), so the reader quarantines it.  Transient I/O
+    #: failures (``OSError``) are deliberately excluded — a healthy file
+    #: must never be quarantined because one read syscall failed.
+    _CONTENT_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                       ImportError, IndexError, KeyError, ValueError,
+                       struct.error, zlib.error)
+
     #: Exceptions that mean "this record is unreadable" rather than a bug.
-    _DECODE_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
-                      AttributeError, ImportError, IndexError, KeyError,
-                      ValueError, struct.error, zlib.error)
+    _DECODE_ERRORS = (OSError,) + _CONTENT_ERRORS
 
     @staticmethod
     def _encode_record(header: Dict[str, Any], payload: Any) -> bytes:
@@ -238,7 +299,11 @@ class TraceStore:
                         f"extra_header may not override {reserved!r}")
             header.update(extra_header)
         path = self._record_path(kind, key)
-        self._atomic_write_bytes(path, self._encode_record(header, payload))
+        # The fault point sits here (not in _atomic_write_bytes) so chaos
+        # plans count record writes, not manifest re-stamps, and a
+        # "truncate" rule models a torn write of this record's bytes.
+        data = fault_point("store.write", self._encode_record(header, payload))
+        self._atomic_write_bytes(path, data)
         self.saves += 1
         return path
 
@@ -247,9 +312,12 @@ class TraceStore:
 
         Any failure mode — missing file, truncated pickle, foreign schema,
         digest collision — degrades to a miss so callers simply rebuild.
+        Damaged files are quarantined so they can never crash a second
+        read; transient I/O failures leave the file in place.
         """
         path = self._record_path(kind, key)
         try:
+            fault_point("store.read")
             with open(path, "rb") as handle:
                 header = self._decode_header(handle)
                 mismatched = (header.get("schema") != self.schema_version
@@ -260,7 +328,17 @@ class TraceStore:
         except FileNotFoundError:
             self.load_misses += 1
             return None
-        except self._DECODE_ERRORS as error:
+        except self._CONTENT_ERRORS as error:
+            quarantined = self._quarantine(os.path.basename(path))
+            warnings.warn(
+                f"trace store record {path!r} is corrupt ({error!r}); "
+                + (f"quarantined at {quarantined!r} and "
+                   if quarantined else "")
+                + "treating as a miss and rebuilding",
+                StoreCorruptionWarning, stacklevel=2)
+            self.load_misses += 1
+            return None
+        except OSError as error:
             warnings.warn(
                 f"trace store record {path!r} is unreadable ({error!r}); "
                 f"treating as a miss and rebuilding",
@@ -414,6 +492,32 @@ class TraceStore:
         except OSError:
             return False
 
+    def _quarantine(self, name: str) -> Optional[str]:
+        """Rename a damaged store file into ``quarantine/``.
+
+        Returns the new path, or ``None`` if the move failed (e.g. a
+        concurrent session already quarantined or rebuilt it) — callers
+        degrade to a miss either way.  ``os.replace`` keeps this atomic;
+        re-quarantining an identically-named file overwrites the old copy,
+        which is fine because equal names mean equal keys.
+        """
+        source = os.path.join(self.root, name)
+        target_dir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(target_dir, exist_ok=True)
+            target = os.path.join(target_dir, name)
+            os.replace(source, target)
+            return target
+        except OSError:
+            return None
+
+    def quarantined_files(self) -> List[str]:
+        """Names of files previously quarantined (empty if none)."""
+        try:
+            return sorted(os.listdir(os.path.join(self.root, QUARANTINE_DIR)))
+        except OSError:
+            return []
+
     def __len__(self) -> int:
         return len(self._record_files())
 
@@ -467,11 +571,103 @@ class TraceStore:
             "experiments": counts[KIND_EXPERIMENT],
             "traces": counts[KIND_TRACE],
             "unreadable": unreadable,
+            "quarantined": len(self.quarantined_files()),
             "total_bytes": total_bytes,
             "saves": self.saves,
             "loads": self.loads,
             "load_misses": self.load_misses,
         }
+
+    def verify(self, repair: bool = False) -> Dict[str, Any]:
+        """Deep-check every record; optionally quarantine what is broken.
+
+        Unlike :meth:`iter_records` (header-only), this decompresses and
+        unpickles every payload and checks that each filename's digest
+        matches the key stored in its header, so silent bit rot anywhere in
+        a record is caught.  With ``repair=True``: corrupt and misplaced
+        records are quarantined, orphaned ``.tmp`` files are deleted, and a
+        corrupt manifest is quarantined and re-stamped.  Foreign-schema
+        records (and a readable foreign manifest) are *reported* but left
+        for ``gc`` — verify never destroys data that another build could
+        still read.
+        """
+        report: Dict[str, Any] = {
+            "root": self.root,
+            "schema": self.schema_version,
+            "checked": 0,
+            "ok": 0,
+            "by_kind": {kind: 0 for kind in KINDS},
+            "corrupt": [],
+            "misplaced": [],
+            "foreign": [],
+            "temp": self._temp_files(),
+            "quarantined": [],
+            "removed_temp": [],
+            "repaired": False,
+        }
+        manifest_state, manifest_detail = self._read_manifest_schema()
+        if manifest_state == "ok" and manifest_detail != self.schema_version:
+            manifest_state = "foreign"
+        report["manifest"] = manifest_state
+        for name in self._record_files():
+            report["checked"] += 1
+            path = os.path.join(self.root, name)
+            try:
+                with open(path, "rb") as handle:
+                    header = self._decode_header(handle)
+                    payload_ok = pickle.loads(zlib.decompress(handle.read()))
+                del payload_ok
+                key_repr = header.get("key_repr")
+                kind = header.get("kind")
+                if (not isinstance(key_repr, str)
+                        or kind not in KINDS):
+                    raise ValueError("malformed header fields")
+                if header.get("schema") != self.schema_version:
+                    report["foreign"].append(name)
+                    continue
+                digest = hashlib.sha256(
+                    key_repr.encode("utf-8")).hexdigest()[:32]
+                if name != f"{kind}-{digest}.pkl":
+                    # Valid record content under the wrong filename: it can
+                    # never be loaded (lookups go by digest), so it is dead
+                    # weight and quarantined on repair.
+                    report["misplaced"].append(name)
+                    continue
+            except self._DECODE_ERRORS as error:
+                report["corrupt"].append(name)
+                report.setdefault("errors", {})[name] = repr(error)
+                continue
+            report["ok"] += 1
+            report["by_kind"][kind] += 1
+        if repair:
+            for name in report["corrupt"] + report["misplaced"]:
+                target = self._quarantine(name)
+                if target is not None:
+                    report["quarantined"].append(name)
+            for name in report["temp"]:
+                if self._unlink_quietly(name):
+                    report["removed_temp"].append(name)
+            if manifest_state == "corrupt":
+                self._quarantine(MANIFEST_NAME)
+                self._write_manifest()
+                report["manifest"] = "ok"
+            report["repaired"] = True
+            # "clean" reflects the post-repair state: everything broken
+            # either quarantined/removed, or still outstanding.
+            leftover = [name for name in report["corrupt"]
+                        + report["misplaced"]
+                        if name not in report["quarantined"]]
+            leftover += [name for name in report["temp"]
+                         if name not in report["removed_temp"]]
+            report["clean"] = (not leftover and not report["foreign"]
+                               and report["manifest"] == "ok")
+        else:
+            report["clean"] = (not report["corrupt"]
+                               and not report["misplaced"]
+                               and not report["foreign"]
+                               and not report["temp"]
+                               and report["manifest"] == "ok")
+        return report
 
     def gc(self, max_records: Optional[int] = None) -> Dict[str, List[str]]:
         """Remove unreadable/foreign records; optionally prune to a budget.

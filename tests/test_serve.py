@@ -320,8 +320,11 @@ def test_server_unknown_retriever_is_client_error(server):
 def test_remote_client_wait_ready(server):
     host, port = server.address
     assert RemoteClient.wait_ready(host, port, timeout=10)
-    # A dead port times out instead of hanging.
-    assert RemoteClient.wait_ready("127.0.0.1", 1, timeout=0.5) is False
+    # A dead port raises on timeout, carrying the last probe failure
+    # instead of a bare False.
+    with pytest.raises(ConnectionError, match=r"127\.0\.0\.1:1") as excinfo:
+        RemoteClient.wait_ready("127.0.0.1", 1, timeout=0.5)
+    assert excinfo.value.__cause__ is not None
 
 
 def test_parse_address():

@@ -152,7 +152,29 @@ def test_foreign_schema_version_is_refused(tmp_path):
         TraceStore(str(tmp_path))
 
 
-def test_unreadable_manifest_is_refused(tmp_path):
+def test_corrupt_manifest_is_quarantined_and_rebuilt(tmp_path):
+    store = TraceStore(str(tmp_path))
+    store.save("entry", ("k",), {"x": 1})
+    (tmp_path / "manifest.json").write_text("{not json")
+    with pytest.warns(StoreCorruptionWarning):
+        healed = TraceStore(str(tmp_path))
+    # The bad manifest is preserved aside, a fresh one is stamped, and the
+    # surviving record is still readable.
+    assert "manifest.json" in healed.quarantined_files()
+    assert healed.load("entry", ("k",)) == {"x": 1}
+    assert json.loads((tmp_path / "manifest.json").read_text())["schema"] \
+        == STORE_SCHEMA_VERSION
+
+
+def test_corrupt_manifest_over_foreign_records_is_refused(tmp_path):
+    """Manifest self-healing must not adopt another build's records."""
+    store = TraceStore(str(tmp_path))
+    store.save("entry", ("k",), {"x": 1})
+    future = TraceStore.__new__(TraceStore)
+    future.root = store.root
+    future.schema_version = STORE_SCHEMA_VERSION + 1
+    future.saves = future.loads = future.load_misses = 0
+    future.save("entry", ("other",), {"x": 2})
     (tmp_path / "manifest.json").write_text("{not json")
     with pytest.raises(StoreVersionError):
         TraceStore(str(tmp_path))
