@@ -172,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--perf-output", default=None, metavar="PATH",
                        help="with --perf: where to write the JSON report "
                             "(default: BENCH_<rev>.json in the cwd)")
+    bench.add_argument("--compare", default=None, metavar="OLD_JSON",
+                       help="with --perf: print per-timing deltas vs a "
+                            "previous BENCH_<rev>.json report "
+                            "(name, old/new ms, ratio)")
     bench.add_argument("--store-dir", default=None, metavar="DIR",
                        help="with --perf: directory for the warm-start "
                             "section's store, kept afterwards e.g. for CI "
@@ -957,6 +961,14 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     print(format_report(report))
     path = write_report(report, path=args.perf_output)
     print(f"  report written to {path}")
+    if args.compare:
+        from repro.perf.harness import compare_reports, load_report
+        try:
+            previous = load_report(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"  cannot load comparison report {args.compare}: {error}")
+            return 1
+        print(compare_reports(previous, report))
     return 0
 
 

@@ -70,6 +70,7 @@ from repro.core.answer import _dataclass_from_dict
 from repro.core.plan import PlannedJob, merge_job_lists
 from repro.policies.base import get_policy
 from repro.sim.config import HierarchyConfig, resolve_config
+from repro.sim.batch import BatchSimulator, RolloutSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.parallel import ParallelSimulator, SimulationJob
 from repro.tracedb.store import StoreCorruptionWarning
@@ -580,15 +581,30 @@ class ExperimentRunner:
     :class:`ParallelSimulator`; results land back in the shared memoiser,
     so parallelism, memoisation and persistence compose exactly as in the
     session database build.
+
+    ``strategy`` picks how serial cache misses execute: ``"auto"``
+    (default) routes every group of >= 2 misses sharing a trace through the
+    lockstep :class:`~repro.sim.batch.BatchSimulator` (one trace pass, many
+    rollouts) and keeps per-cell replay for singletons; ``"batch"`` forces
+    the batch kernel even for singletons; ``"single"`` forces per-cell
+    replay everywhere (the equivalence oracle).  Either way results install
+    through ``SimulationCache.put_result/put_entry``, so warm-store
+    semantics are unchanged and re-runs simulate zero cells.
     """
+
+    STRATEGIES = ("auto", "batch", "single")
 
     def __init__(self, simulation_cache=None, jobs: int = 1,
                  executor: str = "auto",
-                 max_records: Optional[int] = None):
+                 max_records: Optional[int] = None,
+                 strategy: str = "auto"):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"strategy must be one of {self.STRATEGIES}")
         self.simulation_cache = simulation_cache
         self.jobs = max(1, int(jobs))
         self.executor = executor
         self.max_records = max_records
+        self.strategy = strategy
 
     # ------------------------------------------------------------------
     def _cache(self):
@@ -626,7 +642,8 @@ class ExperimentRunner:
         # serving layer runs sweeps concurrently with asks — must not
         # leak their hits/misses into this result's telemetry, which the
         # CLI's --expect-warm assertion and the stored record rely on.
-        tally = {"simulations_run": 0, "cache_hits": 0, "store_hits": 0}
+        tally = {"simulations_run": 0, "cache_hits": 0, "store_hits": 0,
+                 "batch_groups": 0, "batch_cells": 0}
         outputs = self._execute(spec, plan, cache, progress, tally)
         execute_seconds = time.perf_counter() - execute_started
 
@@ -673,6 +690,11 @@ class ExperimentRunner:
         outputs: Dict[Tuple, Dict[str, Any]] = {}
         pending: Dict[Tuple[str, str],
                       List[Tuple[PlannedJob, Any, str]]] = {}
+        # Serial cache misses, grouped by the trace they replay: >= 2
+        # cells sharing a trace advance in one lockstep batch pass.
+        serial_pending: Dict[Tuple[str, int, int],
+                             List[Tuple[PlannedJob, Any, str,
+                                        SimulationEngine]]] = {}
         total = plan.unique_jobs
         done = 0
 
@@ -695,6 +717,8 @@ class ExperimentRunner:
                 engine = SimulationEngine(
                     config=config_map[job.config_name], mode=spec.mode,
                     max_records=self.max_records, detail=job.detail)
+                # Oracle cells share one reuse precompute per trace.
+                engine.reuse_cache = cache.reuse_for
                 engines[group] = engine
             trace, description = cache.get_trace(
                 job.workload, job.num_accesses, job.seed)
@@ -709,29 +733,54 @@ class ExperimentRunner:
                     # like the parallel session database build.
                     pending.setdefault(group, []).append(
                         (job, trace, description))
-                    continue
-                # Serial miss: simulate in place and install via put_*,
-                # which persists to the store exactly as get_entry's miss
-                # path would.
-                tally["simulations_run"] += 1
-                result = engine.run(trace, job.policy)
-                if job.detail == "full":
-                    from repro.tracedb.database import make_entry
-                    found = make_entry(result,
-                                       workload_description=description)
-                    cache.put_entry(engine, trace, job.policy, description,
-                                    found)
                 else:
-                    found = result
-                    cache.put_result(engine, trace, job.policy, result)
-            else:
-                tally["cache_hits"] += 1
-                if origin == "store":
-                    tally["store_hits"] += 1
+                    # Serial miss: deferred so misses sharing a trace can
+                    # batch into one lockstep pass below.
+                    serial_pending.setdefault(
+                        (job.workload, job.num_accesses, job.seed),
+                        []).append((job, trace, description, engine))
+                continue
+            tally["cache_hits"] += 1
+            if origin == "store":
+                tally["store_hits"] += 1
             outputs[job.key] = (self._row_from_entry(job, found)
                                 if job.detail == "full"
                                 else self._row_from_result(job, found))
             advance()
+
+        for group_pending in serial_pending.values():
+            shared_trace = group_pending[0][1]
+            use_batch = (self.strategy == "batch"
+                         or (self.strategy == "auto"
+                             and len(group_pending) >= 2))
+            if use_batch:
+                tally["batch_groups"] += 1
+                tally["batch_cells"] += len(group_pending)
+                rollouts = [RolloutSpec(policy=job.policy,
+                                        config=config_map[job.config_name],
+                                        mode=spec.mode, detail=job.detail,
+                                        max_records=self.max_records)
+                            for job, _trace, _desc, _engine in group_pending]
+                results = BatchSimulator(shared_trace).run(rollouts)
+            else:
+                results = [engine.run(trace, job.policy)
+                           for job, trace, _desc, engine in group_pending]
+            # Install via put_*, which persists to the store exactly as
+            # get_entry's miss path would.
+            for (job, trace, description, engine), result in zip(
+                    group_pending, results):
+                tally["simulations_run"] += 1
+                if job.detail == "full":
+                    from repro.tracedb.database import make_entry
+                    entry = make_entry(result,
+                                       workload_description=description)
+                    cache.put_entry(engine, trace, job.policy, description,
+                                    entry)
+                    outputs[job.key] = self._row_from_entry(job, entry)
+                else:
+                    cache.put_result(engine, trace, job.policy, result)
+                    outputs[job.key] = self._row_from_result(job, result)
+                advance()
 
         for group, group_pending in pending.items():
             config_name, detail = group
@@ -824,9 +873,11 @@ def run_experiment(spec: Union[ExperimentSpec, Dict[str, Any]],
                    simulation_cache=None, jobs: int = 1,
                    executor: str = "auto",
                    max_records: Optional[int] = None,
+                   strategy: str = "auto",
                    progress: Optional[ProgressCallback] = None
                    ) -> ExperimentResult:
     """Module-level convenience: compile and execute one spec."""
     runner = ExperimentRunner(simulation_cache=simulation_cache, jobs=jobs,
-                              executor=executor, max_records=max_records)
+                              executor=executor, max_records=max_records,
+                              strategy=strategy)
     return runner.run(spec, progress=progress)

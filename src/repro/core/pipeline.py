@@ -79,7 +79,8 @@ from repro.llm.backend import LLMBackend, get_backend
 from repro.llm.memory import ConversationMemory
 from repro.retrieval.base import Retriever, get_retriever, resolve_retriever_name
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
-from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.engine import (SimulationEngine, SimulationResult, TraceReuse,
+                              compute_full_reuse, compute_next_use)
 from repro.sim.parallel import ParallelSimulator, SimulationJob
 from repro.tracedb.database import (
     DEFAULT_POLICIES,
@@ -134,6 +135,7 @@ class SimulationCache:
         self._results: "OrderedDict[tuple, SimulationResult]" = OrderedDict()
         self._entries: "OrderedDict[tuple, TraceEntry]" = OrderedDict()
         self._traces: "OrderedDict[tuple, Tuple[MemoryTrace, str]]" = OrderedDict()
+        self._reuse: "OrderedDict[tuple, TraceReuse]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -207,6 +209,44 @@ class SimulationCache:
             self._put(self._traces, key, value)
         return value
 
+    # ------------------------------------------------------------------
+    def reuse_for(self, trace: MemoryTrace, block_bytes: int,
+                  full: bool = False) -> TraceReuse:
+        """Memoised oracle reuse precompute, keyed by trace fingerprint.
+
+        ``full=False`` returns just the next-use column (the stats replay's
+        need); ``full=True`` also carries prev-use and per-block position
+        lists (the full-detail replay's need) and upgrades an existing
+        stats-only entry in place.  The arrays are pure functions of
+        ``(trace content, block_bytes)``, so every belady/oracle cell over
+        the same trace — batch or single replay — shares one computation.
+        Engines built by this cache get this method as their
+        ``reuse_cache`` hook.
+        """
+        key = (trace.fingerprint(), block_bytes)
+        with self._lock:
+            cached = self._get(self._reuse, key)
+        if cached is not None and (not full or cached.prev_use is not None):
+            return cached
+        addresses = trace.columns()[1]
+        if full:
+            reuse = compute_full_reuse(addresses, block_bytes)
+        else:
+            reuse = TraceReuse(next_use=compute_next_use(addresses,
+                                                         block_bytes))
+        with self._lock:
+            # Re-check under the lock: never downgrade a full entry a
+            # concurrent caller installed while we computed.
+            cached = self._get(self._reuse, key)
+            if cached is not None and (not full
+                                       or cached.prev_use is not None):
+                return cached
+            self._reuse[key] = reuse
+            self._reuse.move_to_end(key)
+            while len(self._reuse) > self.max_entries:
+                self._reuse.popitem(last=False)
+        return reuse
+
     @staticmethod
     def _key(engine: SimulationEngine, trace: MemoryTrace,
              policy_name: str) -> tuple:
@@ -260,6 +300,10 @@ class SimulationCache:
                     self._hits += 1
                     self._store_hits += 1
                 return result
+        if engine.reuse_cache is None:
+            # Oracle cells over the same trace then share one reuse
+            # precompute, keyed by content fingerprint.
+            engine.reuse_cache = self.reuse_for
         result = engine.run(trace, policy_name)
         with self._lock:
             self._put(self._results, key, result)
@@ -422,6 +466,7 @@ class SimulationCache:
             return {"results": len(self._results),
                     "derived_entries": len(self._entries),
                     "traces": len(self._traces),
+                    "reuse": len(self._reuse),
                     "hits": self._hits, "misses": self._misses,
                     "store_hits": self._store_hits}
 
@@ -432,6 +477,7 @@ class SimulationCache:
             self._results.clear()
             self._entries.clear()
             self._traces.clear()
+            self._reuse.clear()
             self._hits = 0
             self._misses = 0
             self._store_hits = 0

@@ -7,18 +7,22 @@ trajectory of the simulation core is tracked revision by revision.
 
 from repro.perf.harness import (
     BenchTiming,
+    compare_reports,
     current_revision,
     default_report_path,
     format_report,
+    load_report,
     run_perf_suite,
     write_report,
 )
 
 __all__ = [
     "BenchTiming",
+    "compare_reports",
     "current_revision",
     "default_report_path",
     "format_report",
+    "load_report",
     "run_perf_suite",
     "write_report",
 ]

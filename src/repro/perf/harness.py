@@ -43,9 +43,10 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.sim.batch import NATIVE_POLICIES, BatchSimulator, RolloutSpec
 from repro.sim.config import HierarchyConfig, SMALL_CONFIG
 from repro.sim.engine import SimulationEngine
-from repro.sim.parallel import default_jobs
+from repro.sim.parallel import default_jobs, planned_strategy
 from repro.workloads.generator import generate_trace
 
 #: Bump when the report layout changes incompatibly.
@@ -371,6 +372,71 @@ def run_perf_suite(quick: bool = False,
         "warm_zero_simulations": warm_counters.get("simulations_run") == 0,
     }
 
+    # --- batch rollouts: one trace pass, many lockstep cells --------------
+    # Grid sizes 1/4/9/16 over (native policy x LLC-scaled config) cells
+    # sharing one trace, each measured twice: per-cell single replay vs the
+    # lockstep BatchSimulator.  Results are checked identical before the
+    # timed runs, so the speedup is for byte-equal work.
+    batch_trace = traces[workloads[0]]
+    batch_configs = [config]
+    for scale in (2, 4, 8):
+        batch_configs.append(config.scaled_llc(
+            scale * config.llc.size_bytes, name=f"{config.name}-llc{scale}x"))
+    batch_cells = [(policy, batch_config) for policy in NATIVE_POLICIES
+                   for batch_config in batch_configs]
+    batch_sizes: List[Dict[str, object]] = []
+    batch_speedup_9 = None
+    for grid in (1, 4, 9, 16):
+        cells = batch_cells[:grid]
+        rollouts = [RolloutSpec(policy, batch_config)
+                    for policy, batch_config in cells]
+
+        def run_single(cells=cells):
+            return [SimulationEngine(config=batch_config, mode="llc_only",
+                                     detail="stats").run(batch_trace, policy)
+                    for policy, batch_config in cells]
+
+        def run_batched(rollouts=rollouts):
+            return BatchSimulator(batch_trace).run(rollouts)
+
+        identical = all(
+            single.llc_stats.as_tuple() == batched.llc_stats.as_tuple()
+            and single.timing.stall_cycles == batched.timing.stall_cycles
+            for single, batched in zip(run_single(), run_batched()))
+        single_timing = _measure(f"batch_rollout/single_{grid}cells",
+                                 run_single, repeats, cells=grid)
+        batched_timing = _measure(f"batch_rollout/batch_{grid}cells",
+                                  run_batched, repeats, cells=grid,
+                                  identical=identical)
+        timings.extend([single_timing, batched_timing])
+        speedup = (single_timing.seconds / batched_timing.seconds
+                   if batched_timing.seconds > 0 else None)
+        if grid == 9:
+            batch_speedup_9 = speedup
+        batch_sizes.append({
+            "cells": grid,
+            "single_seconds": single_timing.seconds,
+            "batch_seconds": batched_timing.seconds,
+            "speedup": speedup,
+            "single_cells_per_second": (grid / single_timing.seconds
+                                        if single_timing.seconds > 0
+                                        else None),
+            "batch_cells_per_second": (grid / batched_timing.seconds
+                                       if batched_timing.seconds > 0
+                                       else None),
+            "identical": identical,
+        })
+    batch_section = {
+        "workload": workloads[0],
+        "accesses": len(batch_trace),
+        "detail": "stats",
+        "policies": list(NATIVE_POLICIES),
+        "configs": [batch_config.name for batch_config in batch_configs],
+        "sizes": batch_sizes,
+        "speedup_at_9_cells": batch_speedup_9,
+        "all_identical": all(size["identical"] for size in batch_sizes),
+    }
+
     # --- trace ingestion: parse throughput for both on-disk formats ------
     # The first bench workload's trace is written out in both formats and
     # parsed back, so the accesses/sec numbers cover the exact columnar
@@ -431,6 +497,7 @@ def run_perf_suite(quick: bool = False,
         "experiment_cells_per_sec": experiment_cells_per_sec,
         "experiment_dedup_ratio": experiment_section["dedup_ratio"],
         "experiment_warm_speedup": experiment_section["warm_speedup"],
+        "batch_rollout_speedup_9cells": batch_speedup_9,
         "ingest_text_accesses_per_s": ingest_text_rate,
         "ingest_champsim_accesses_per_s": ingest_champsim_rate,
         "fault_point_ns_per_call": fault_point_ns,
@@ -459,6 +526,7 @@ def run_perf_suite(quick: bool = False,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "parallel_strategy": planned_strategy(jobs),
         "quick": quick,
         "params": {
             "workloads": list(workloads),
@@ -475,6 +543,7 @@ def run_perf_suite(quick: bool = False,
         "store_warm_start": store_warm_start,
         "serving": serving,
         "experiment": experiment_section,
+        "batch_rollout": batch_section,
         "ingestion": ingestion_section,
         "resilience": resilience_section,
     }
@@ -489,6 +558,45 @@ def write_report(report: Dict[str, object],
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read a previously written ``BENCH_<rev>.json`` report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_reports(old: Dict[str, object],
+                    new: Dict[str, object]) -> str:
+    """Per-timing delta table between two reports (old -> new).
+
+    Timings are matched by name; the ratio is new/old seconds, so values
+    below 1.0 are speedups.  Measurements present in only one report are
+    listed separately, making schema drift visible instead of silent.
+    """
+    old_timings = {timing["name"]: timing["seconds"]
+                   for timing in old.get("timings", [])}
+    new_timings = {timing["name"]: timing["seconds"]
+                   for timing in new.get("timings", [])}
+    lines = [f"perf delta {old.get('revision', '?')} -> "
+             f"{new.get('revision', '?')} "
+             f"(old {old.get('params', {}).get('num_accesses')} vs "
+             f"new {new.get('params', {}).get('num_accesses')} accesses, "
+             f"ratio < 1.0 is faster)"]
+    for name, new_seconds in new_timings.items():
+        old_seconds = old_timings.get(name)
+        if old_seconds is None:
+            continue
+        ratio = new_seconds / old_seconds if old_seconds > 0 else float("inf")
+        lines.append(f"  {name:<42} {old_seconds * 1000:9.2f} -> "
+                     f"{new_seconds * 1000:9.2f} ms  x{ratio:.2f}")
+    removed = sorted(set(old_timings) - set(new_timings))
+    added = sorted(set(new_timings) - set(old_timings))
+    if removed:
+        lines.append("  only in old: " + ", ".join(removed))
+    if added:
+        lines.append("  only in new: " + ", ".join(added))
+    return "\n".join(lines)
 
 
 def format_report(report: Dict[str, object]) -> str:
@@ -539,6 +647,13 @@ def format_report(report: Dict[str, object]) -> str:
             f"dedup ratio {experiment_section['dedup_ratio']:.2f}), "
             f"warm re-run {experiment_section['warm_speedup']:.1f}x "
             f"({'zero simulations' if experiment_section['warm_zero_simulations'] else 'RE-SIMULATED'})")
+    batch_section = report.get("batch_rollout")
+    if batch_section and batch_section.get("speedup_at_9_cells") is not None:
+        lines.append(
+            f"  batch rollout: {batch_section['speedup_at_9_cells']:.2f}x "
+            f"over per-cell replay at 9 stats cells "
+            f"({'identical' if batch_section.get('all_identical') else 'DIVERGED'}, "
+            f"workload {batch_section['workload']})")
     ingestion_section = report.get("ingestion")
     if ingestion_section and ingestion_section.get(
             "text_accesses_per_second") is not None:

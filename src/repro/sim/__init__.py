@@ -30,8 +30,26 @@ from repro.sim.cache import (
 )
 from repro.sim.cpu import CPUModel, TimingResult
 from repro.sim.hierarchy import CacheHierarchy, HierarchyResult
-from repro.sim.engine import SimulationEngine, SimulationResult, simulate
-from repro.sim.parallel import ParallelSimulator, SimulationJob, default_jobs
+from repro.sim.engine import (
+    PreparedReplay,
+    SimulationEngine,
+    SimulationResult,
+    TraceReuse,
+    simulate,
+)
+from repro.sim.batch import (
+    BatchSimulator,
+    NATIVE_POLICIES,
+    RolloutSpec,
+    rollout_strategy,
+    run_batch,
+)
+from repro.sim.parallel import (
+    ParallelSimulator,
+    SimulationJob,
+    default_jobs,
+    planned_strategy,
+)
 from repro.sim.prefetch import NextLinePrefetcher, StridePrefetcher
 
 __all__ = [
@@ -55,10 +73,18 @@ __all__ = [
     "HierarchyResult",
     "SimulationEngine",
     "SimulationResult",
+    "PreparedReplay",
+    "TraceReuse",
     "simulate",
+    "BatchSimulator",
+    "NATIVE_POLICIES",
+    "RolloutSpec",
+    "rollout_strategy",
+    "run_batch",
     "ParallelSimulator",
     "SimulationJob",
     "default_jobs",
+    "planned_strategy",
     "NextLinePrefetcher",
     "StridePrefetcher",
 ]

@@ -36,7 +36,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.policies.base import NEVER, ReplacementPolicy, get_policy
 from repro.sim.cache import (
@@ -63,6 +63,84 @@ from repro.tracedb.schema import (
     NEVER_REUSED,
 )
 from repro.workloads.trace import FLAG_PREFETCH, FLAG_WRITE, MemoryTrace
+
+
+@dataclass
+class TraceReuse:
+    """Reuse-distance precomputation for one access stream.
+
+    ``next_use`` is always present (the stats path only needs it for
+    ``requires_future`` policies); ``prev_use`` and ``positions_by_block``
+    are the richer full-detail form.  Instances are shared read-only across
+    rollouts and across cells via :meth:`SimulationCache.reuse_for`, so they
+    must never be mutated after construction.
+    """
+
+    next_use: List[int]
+    prev_use: Optional[List[int]] = None
+    positions_by_block: Optional[Dict[int, List[int]]] = None
+
+
+#: Provider signature for shared reuse precomputation:
+#: ``(trace, block_bytes, full) -> TraceReuse`` (llc_only streams only —
+#: hierarchy streams depend on the upper-level geometry, not just the trace).
+ReuseProvider = Callable[[MemoryTrace, int, bool], TraceReuse]
+
+
+def compute_next_use(addresses: Sequence[int], block_bytes: int) -> List[int]:
+    """Per-position next-use indices over one address sequence.
+
+    Single reverse pass — cheaper than the full per-block position lists the
+    record-building path needs.  ``NEVER`` marks "no next use".
+    """
+    next_use = [NEVER] * len(addresses)
+    next_seen: Dict[int, int] = {}
+    for position in range(len(addresses) - 1, -1, -1):
+        block = addresses[position] // block_bytes
+        next_use[position] = next_seen.get(block, NEVER)
+        next_seen[block] = position
+    return next_use
+
+
+def compute_full_reuse(addresses: Sequence[int],
+                       block_bytes: int) -> TraceReuse:
+    """Full reuse precomputation (next/prev use + per-block positions).
+
+    Positions are indices into the given access stream, matching what
+    :meth:`SimulationEngine._compute_reuse` historically produced over the
+    LLC stream; the full-detail replay needs all three pieces.
+    """
+    positions_by_block: Dict[int, List[int]] = {}
+    for position, address in enumerate(addresses):
+        block = address // block_bytes
+        positions_by_block.setdefault(block, []).append(position)
+
+    next_use = [NEVER] * len(addresses)
+    prev_use = [-1] * len(addresses)
+    for positions in positions_by_block.values():
+        for i, position in enumerate(positions):
+            if i + 1 < len(positions):
+                next_use[position] = positions[i + 1]
+            if i > 0:
+                prev_use[position] = positions[i - 1]
+    return TraceReuse(next_use=next_use, prev_use=prev_use,
+                      positions_by_block=positions_by_block)
+
+
+@dataclass
+class PreparedReplay:
+    """Precomputed replay inputs shared across rollouts of one trace.
+
+    The batch kernel computes the LLC stream (hierarchy filtering), the
+    upper-level service map and the reuse arrays once per (trace, geometry)
+    group and hands the same objects to every rollout via
+    :meth:`SimulationEngine.run`; all fields are treated as read-only.
+    ``None`` fields fall back to the engine's own per-run computation.
+    """
+
+    llc_stream: Optional[List[Tuple[int, int, int, bool, bool]]] = None
+    upper_levels: Optional[Dict[int, str]] = None
+    reuse: Optional[TraceReuse] = None
 
 
 @dataclass
@@ -144,7 +222,8 @@ class SimulationEngine:
                  mode: str = "llc_only", history_window: int = 8,
                  annotate_context: bool = True,
                  max_records: Optional[int] = None,
-                 detail: str = DETAIL_FULL):
+                 detail: str = DETAIL_FULL,
+                 reuse_cache: Optional[ReuseProvider] = None):
         if mode not in ("llc_only", "hierarchy"):
             raise ValueError("mode must be 'llc_only' or 'hierarchy'")
         if detail not in DETAIL_LEVELS:
@@ -155,24 +234,47 @@ class SimulationEngine:
         self.annotate_context = annotate_context
         self.max_records = max_records
         self.detail = detail
+        #: Optional shared reuse provider (``SimulationCache.reuse_for``):
+        #: llc_only runs fetch next-use/positions from it instead of
+        #: recomputing per cell.  The returned arrays are identical to the
+        #: local computation, so results are byte-for-byte unchanged.
+        self.reuse_cache = reuse_cache
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def run(self, trace: MemoryTrace, policy) -> SimulationResult:
+    def run(self, trace: MemoryTrace, policy,
+            prepared: Optional[PreparedReplay] = None) -> SimulationResult:
         """Simulate ``trace`` with ``policy`` at the LLC.
 
         ``policy`` may be a :class:`ReplacementPolicy` instance or a
-        registered policy name.
+        registered policy name.  ``prepared`` optionally supplies
+        precomputed (shared, read-only) replay inputs — the batch kernel's
+        way of amortising stream filtering and reuse precomputation across
+        many rollouts; a ``None`` field falls back to local computation, so
+        results are identical either way.
         """
         if isinstance(policy, str):
             policy = get_policy(policy)
         if self.detail == DETAIL_STATS:
-            return self._run_stats(trace, policy)
-        llc_stream, upper_levels = self._build_llc_stream(trace)
-        next_use, prev_use = self._compute_reuse(llc_stream)
+            return self._run_stats(trace, policy, prepared)
+        if prepared is not None and prepared.llc_stream is not None:
+            llc_stream = prepared.llc_stream
+            upper_levels = prepared.upper_levels or {}
+        else:
+            llc_stream, upper_levels = self._build_llc_stream(trace)
+        reuse = prepared.reuse if prepared is not None else None
+        if reuse is None or reuse.prev_use is None:
+            if self.mode == "llc_only" and self.reuse_cache is not None:
+                reuse = self.reuse_cache(trace,
+                                         self.config.llc.block_bytes, True)
+            else:
+                reuse = compute_full_reuse(
+                    [address for _i, _pc, address, _w, _p in llc_stream],
+                    self.config.llc.block_bytes)
+        self._positions_by_block = reuse.positions_by_block or {}
         return self._replay_llc(trace, policy, llc_stream, upper_levels,
-                                next_use, prev_use)
+                                reuse.next_use, reuse.prev_use)
 
     # ------------------------------------------------------------------
     # pass 1: determine which accesses reach the LLC
@@ -219,31 +321,6 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # pass 2 support: reuse-distance precomputation over the LLC stream
     # ------------------------------------------------------------------
-    def _compute_reuse(self, llc_stream: Sequence[Tuple[int, int, int, bool, bool]]
-                       ) -> Tuple[List[int], List[int]]:
-        """Forward next-use and backward previous-use positions per access.
-
-        Positions are indices into the LLC access stream (so reuse distances
-        are measured in LLC accesses, matching the paper's database).
-        ``NEVER`` marks "no next use"; ``-1`` marks "no previous use".
-        """
-        block_bytes = self.config.llc.block_bytes
-        positions_by_block: Dict[int, List[int]] = {}
-        for position, (_index, _pc, address, _w, _p) in enumerate(llc_stream):
-            block = address // block_bytes
-            positions_by_block.setdefault(block, []).append(position)
-
-        next_use = [NEVER] * len(llc_stream)
-        prev_use = [-1] * len(llc_stream)
-        for positions in positions_by_block.values():
-            for i, position in enumerate(positions):
-                if i + 1 < len(positions):
-                    next_use[position] = positions[i + 1]
-                if i > 0:
-                    prev_use[position] = positions[i - 1]
-        self._positions_by_block = positions_by_block
-        return next_use, prev_use
-
     def _next_use_of_block(self, block: int, position: int) -> int:
         """Next LLC-stream position at which ``block`` is accessed after
         ``position`` (exclusive), or ``NEVER``."""
@@ -361,22 +438,13 @@ class SimulationEngine:
     @staticmethod
     def _next_use_sequence(addresses: Sequence[int],
                            block_bytes: int) -> List[int]:
-        """Per-position next-use indices over one address sequence.
+        """Back-compat alias for :func:`compute_next_use` (only computed at
+        all when the policy declares ``requires_future``)."""
+        return compute_next_use(addresses, block_bytes)
 
-        Single reverse pass — cheaper than the full per-block position lists
-        the record-building path needs, and only computed at all when the
-        policy declares ``requires_future``.
-        """
-        next_use = [NEVER] * len(addresses)
-        next_seen: Dict[int, int] = {}
-        for position in range(len(addresses) - 1, -1, -1):
-            block = addresses[position] // block_bytes
-            next_use[position] = next_seen.get(block, NEVER)
-            next_seen[block] = position
-        return next_use
-
-    def _run_stats(self, trace: MemoryTrace,
-                   policy: ReplacementPolicy) -> SimulationResult:
+    def _run_stats(self, trace: MemoryTrace, policy: ReplacementPolicy,
+                   prepared: Optional[PreparedReplay] = None
+                   ) -> SimulationResult:
         """Aggregate-only replay: no records, snapshots or context lookups."""
         config = self.config
         llc = Cache(config.llc, policy, classify_misses=True,
@@ -384,10 +452,10 @@ class SimulationEngine:
         requires_future = bool(getattr(policy, "requires_future", False))
         if self.mode == "llc_only":
             llc_stats, timing = self._replay_stats_llc_only(
-                trace, llc, requires_future)
+                trace, llc, requires_future, prepared)
         else:
             llc_stats, timing = self._replay_stats_hierarchy(
-                trace, llc, requires_future)
+                trace, llc, requires_future, prepared)
         return SimulationResult(
             workload=trace.workload,
             policy_name=getattr(policy, "name", type(policy).__name__),
@@ -402,7 +470,8 @@ class SimulationEngine:
         )
 
     def _replay_stats_llc_only(self, trace: MemoryTrace, llc: Cache,
-                               requires_future: bool
+                               requires_future: bool,
+                               prepared: Optional[PreparedReplay] = None
                                ) -> Tuple[CacheStats, TimingResult]:
         """Fused simulate+timing loop over the raw trace columns.
 
@@ -411,8 +480,16 @@ class SimulationEngine:
         """
         config = self.config
         pcs, addresses, flags, instr = trace.columns()
-        next_use = (self._next_use_sequence(addresses, config.llc.block_bytes)
-                    if requires_future else None)
+        next_use = None
+        if requires_future:
+            if prepared is not None and prepared.reuse is not None:
+                next_use = prepared.reuse.next_use
+            elif self.reuse_cache is not None:
+                next_use = self.reuse_cache(
+                    trace, config.llc.block_bytes, False).next_use
+            else:
+                next_use = compute_next_use(addresses,
+                                            config.llc.block_bytes)
 
         # Hoisted loop state: one bound method, precomputed stall constants.
         access_fast = llc.access_fast
@@ -475,14 +552,24 @@ class SimulationEngine:
         return llc.stats, timing
 
     def _replay_stats_hierarchy(self, trace: MemoryTrace, llc: Cache,
-                                requires_future: bool
+                                requires_future: bool,
+                                prepared: Optional[PreparedReplay] = None
                                 ) -> Tuple[CacheStats, TimingResult]:
         """Stats-only hierarchy replay: filter, replay LLC, one timing walk."""
-        llc_stream, upper_levels = self._build_llc_stream(trace)
+        if prepared is not None and prepared.llc_stream is not None:
+            llc_stream = prepared.llc_stream
+            upper_levels = prepared.upper_levels or {}
+        else:
+            llc_stream, upper_levels = self._build_llc_stream(trace)
         block_bytes = self.config.llc.block_bytes
-        next_use = (self._next_use_sequence(
-            [address for _i, _pc, address, _w, _p in llc_stream], block_bytes)
-            if requires_future else None)
+        next_use = None
+        if requires_future:
+            if prepared is not None and prepared.reuse is not None:
+                next_use = prepared.reuse.next_use
+            else:
+                next_use = compute_next_use(
+                    [address for _i, _pc, address, _w, _p in llc_stream],
+                    block_bytes)
 
         access_fast = llc.access_fast
         llc_hits: List[bool] = []

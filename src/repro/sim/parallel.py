@@ -45,6 +45,26 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def planned_strategy(jobs: Optional[int] = None,
+                     executor: str = "auto") -> str:
+    """The executor a :class:`ParallelSimulator` would start with.
+
+    ``"auto"`` resolves to ``"serial"`` on a single-core host (pool
+    dispatch/pickling overhead cannot be repaid when the workers share one
+    core) and to ``"process"`` otherwise; explicit executors are honoured
+    as given.  Exposed so callers (the perf harness, telemetry) can explain
+    the strategy without running anything.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}")
+    jobs = jobs if jobs is not None and jobs > 0 else default_jobs()
+    if executor == "serial" or jobs <= 1:
+        return "serial"
+    if executor == "auto":
+        return "serial" if (os.cpu_count() or 1) <= 1 else "process"
+    return executor
+
+
 @dataclass
 class SimulationJob:
     """One (workload, policy) simulation request.
@@ -126,6 +146,12 @@ class ParallelSimulator:
         self.max_records = max_records
         self.detail = detail
         self.last_executor: Optional[str] = None
+        #: Strategy telemetry for the last ``run_*`` call: the executor
+        #: that finished the work and why it was chosen (``"requested"``,
+        #: ``"jobs=1"``, ``"single job"``, ``"single-core host"`` or
+        #: ``"parallel"``), so benches and logs can explain themselves.
+        self.last_strategy: Dict[str, Optional[str]] = {"executor": None,
+                                                        "reason": None}
         #: Recovery telemetry for the last ``run_*`` call: how many jobs
         #: were re-dispatched after a pool failure, how many fresh pools
         #: were spun up, and how many jobs fell back to serial execution.
@@ -177,8 +203,20 @@ class ParallelSimulator:
         self.recovery = {"retried_jobs": 0, "pools_replaced": 0,
                          "serial_jobs": 0}
         workers = min(self.jobs, len(payloads)) or 1
-        if workers <= 1 or self.executor == "serial":
+        serial_reason: Optional[str] = None
+        if self.executor == "serial":
+            serial_reason = "requested"
+        elif workers <= 1:
+            serial_reason = "jobs=1" if self.jobs <= 1 else "single job"
+        elif self.executor == "auto" and (os.cpu_count() or 1) <= 1:
+            # Pool dispatch + pickling cannot be repaid when every worker
+            # shares one core: auto degrades to serial instead of running
+            # measurably slower than the serial build.
+            serial_reason = "single-core host"
+        if serial_reason is not None:
             self.last_executor = "serial"
+            self.last_strategy = {"executor": "serial",
+                                  "reason": serial_reason}
             return [_execute_job(payload) for payload in payloads]
 
         attempts: Tuple[str, ...]
@@ -215,6 +253,8 @@ class ParallelSimulator:
                 results[index] = _execute_job(payloads[index])
             finished_kind = "serial"
         self.last_executor = finished_kind
+        self.last_strategy = {"executor": finished_kind,
+                              "reason": "parallel"}
         return results
 
     def _run_pool(self, pool_cls, workers: int, payloads: List[tuple],
