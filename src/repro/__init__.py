@@ -13,6 +13,9 @@ Layer stack (each importable as ``repro.<layer>``):
 * :mod:`repro.policies`  -- replacement policies (registry-driven),
 * :mod:`repro.sim`       -- the trace-driven LLC / hierarchy simulator,
 * :mod:`repro.tracedb`   -- the eviction-annotated external store,
+* :mod:`repro.analytics` -- the declarative query layer over columnar
+  tables (:class:`Query` objects executed through swappable
+  stdlib/sqlite :class:`BaseTabularStore` backends),
 * :mod:`repro.retrieval` -- Sieve, Ranger and the embedding baseline
   (registry-driven),
 * :mod:`repro.llm`       -- simulated LLM backends (registry-driven),
@@ -31,6 +34,18 @@ Layer stack (each importable as ``repro.<layer>``):
 ``experiment``, ``store`` and ``serve`` subcommands over the same facade.
 """
 
+from repro.analytics import (
+    Aggregate,
+    BaseTabularStore,
+    Filter,
+    Join,
+    OrderBy,
+    Query,
+    SqliteBackend,
+    StdlibBackend,
+    parse_query,
+    run_query,
+)
 from repro.core.answer import Answer, AskResponse
 from repro.core.experiment import (
     ExperimentResult,
@@ -116,6 +131,17 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "fault_point",
+    # declarative analytics engine
+    "Query",
+    "Filter",
+    "Aggregate",
+    "OrderBy",
+    "Join",
+    "BaseTabularStore",
+    "StdlibBackend",
+    "SqliteBackend",
+    "parse_query",
+    "run_query",
     # declarative experiment API
     "ExperimentSpec",
     "ExperimentResult",

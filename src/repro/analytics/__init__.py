@@ -1,0 +1,57 @@
+"""repro.analytics — a declarative query layer over columnar tables.
+
+One tested query engine replaces N ad-hoc loops: Sieve's grounding stages,
+``ExperimentResult`` views, the serve layer's ``query`` op and the CLI's
+``experiment report --query`` all express their lookups as
+:class:`Query` objects and execute them through a swappable
+:class:`BaseTabularStore` backend — the pure-stdlib columnar executor by
+default, or a ``sqlite3`` spill-to-disk backend for larger-than-memory
+result sets.  Both backends return bit-identical :class:`Table` results
+(differential-tested), and queries have lossless ``to_dict``/``from_dict``
+wire forms so they ride the JSON-lines serve protocol.
+"""
+
+from .backends import (
+    BACKENDS,
+    BaseTabularStore,
+    SqliteBackend,
+    StdlibBackend,
+    aggregate_values,
+    available_backends,
+    canonical_value,
+    create_backend,
+    run_query,
+)
+from .dsl import QuerySyntaxError, parse_query
+from .query import (
+    AGGREGATE_FUNCS,
+    FILTER_OPS,
+    Aggregate,
+    Filter,
+    Join,
+    OrderBy,
+    Query,
+    as_query,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "BACKENDS",
+    "FILTER_OPS",
+    "Aggregate",
+    "BaseTabularStore",
+    "Filter",
+    "Join",
+    "OrderBy",
+    "Query",
+    "QuerySyntaxError",
+    "SqliteBackend",
+    "StdlibBackend",
+    "aggregate_values",
+    "as_query",
+    "available_backends",
+    "canonical_value",
+    "create_backend",
+    "parse_query",
+    "run_query",
+]

@@ -279,6 +279,22 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_report.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full ExperimentResult dict as JSON")
+    experiment_report.add_argument(
+        "--query", default=None, metavar="QUERY",
+        help="run a declarative analytics query over the cell table "
+             "instead of the pivot report: either the mini-DSL "
+             "(\"select workload,policy,miss_rate where config = 'tiny' "
+             "order by miss_rate desc limit 5\") or a Query.to_dict JSON "
+             "object (detected by a leading '{')")
+    experiment_report.add_argument(
+        "--format", default="table", choices=["table", "csv"],
+        dest="query_format",
+        help="with --query: render the result as a fixed-width table or "
+             "as CSV (default: table)")
+    experiment_report.add_argument(
+        "--backend", default="stdlib", dest="analytics_backend",
+        help="with --query: analytics backend to execute through "
+             "(stdlib or sqlite; default: stdlib)")
 
     serve = subparsers.add_parser(
         "serve", help="serve questions over the JSON-lines TCP protocol")
@@ -537,7 +553,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"backend {session.backend.name})", flush=True)
     print("protocol: one JSON object per line "
           '(e.g. {"op": "ask", "question": "..."}); '
-          "ops: ask, batch, stats, health, ping", flush=True)
+          "ops: ask, batch, experiment, query, stats, health, ping",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -760,6 +777,8 @@ def _cmd_experiment_report(args: argparse.Namespace) -> int:
             print(f"error: stored experiment {matches[0]} is unreadable",
                   file=sys.stderr)
             return 1
+    if args.query is not None:
+        return _run_report_query(result, args)
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -769,6 +788,41 @@ def _cmd_experiment_report(args: argparse.Namespace) -> int:
     for row in result.best_policy_per_cell(metric_name):
         print(f"  {row['policy']:<10} {_cell_axes_label(row)}  "
               f"{row[metric_name]:.4f}")
+    return 0
+
+
+def _run_report_query(result, args: argparse.Namespace) -> int:
+    """Execute ``experiment report --query`` through the analytics engine."""
+    import json
+
+    from repro.analytics import (
+        Query,
+        QuerySyntaxError,
+        parse_query,
+    )
+    from repro.errors import UnknownNameError
+
+    text = args.query.strip()
+    try:
+        if text.startswith("{"):
+            query = Query.from_dict(json.loads(text))
+        else:
+            query = parse_query(text, table="cells")
+    except (QuerySyntaxError, ValueError, KeyError, TypeError) as error:
+        print(f"error: bad --query: {error}", file=sys.stderr)
+        return 2
+    try:
+        table = result.query(query, backend=args.analytics_backend)
+    except (UnknownNameError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps({"columns": table.to_dict()}, indent=2,
+                         sort_keys=True))
+    elif args.query_format == "csv":
+        print(table.to_csv())
+    else:
+        print(table.format(max_rows=len(table) or 1))
     return 0
 
 

@@ -352,11 +352,95 @@ class ExperimentResult:
 
     def rows(self) -> List[Dict[str, Any]]:
         """Row-dictionary view of the cell table (materialised on demand)."""
-        return [self.row(index) for index in range(len(self))]
+        return list(self.iter_rows())
+
+    def iter_rows(self):
+        """Lazily yield one dict per cell, in row order."""
+        for index in range(len(self)):
+            yield self.row(index)
 
     # ------------------------------------------------------------------
     # lookups and derived views
     # ------------------------------------------------------------------
+    def as_table(self):
+        """The cell table as a :class:`~repro.tracedb.table.Table` copy."""
+        from repro.tracedb.table import Table
+
+        return Table.from_columns(
+            {name: list(values) for name, values in self.columns.items()})
+
+    def query(self, query, backend: str = "stdlib"):
+        """Run a declarative :class:`~repro.analytics.Query` (or its wire
+        form) against the cell table via :mod:`repro.analytics`.
+
+        The cell table is registered under the query's own table name
+        (conventionally ``"cells"``), so any single-table query works;
+        for cross-experiment joins use :meth:`join`.  ``backend`` is an
+        analytics backend registry name (``stdlib`` or ``sqlite``).
+        """
+        from repro.analytics import as_query, run_query
+
+        query = as_query(query)
+        return run_query(query, {query.table: self.as_table()}, backend=backend)
+
+    def top_k(self, metric: str, k: int = 5,
+              where: Optional[Dict[str, Any]] = None,
+              descending: bool = True, backend: str = "stdlib"):
+        """The ``k`` cells with the largest ``metric`` (axes + metric
+        columns), optionally under an axis filter.
+
+        Largest-first by default; pass ``descending=False`` for the
+        smallest (e.g. best ``miss_rate``).  Ties preserve cell order.
+        """
+        from repro.analytics import Filter, OrderBy, Query
+
+        self._check_metric(metric)
+        filters = tuple(Filter(axis, "eq", value)
+                        for axis, value in (where or {}).items())
+        return self.query(Query(
+            table="cells",
+            select=AXES + (metric,),
+            filters=filters,
+            order_by=(OrderBy(metric, descending),),
+            limit=k,
+        ), backend=backend)
+
+    def join(self, other: "ExperimentResult",
+             on: Sequence[str] = AXES,
+             metrics: Sequence[str] = ("miss_rate",),
+             suffix: str = "_other", backend: str = "stdlib"):
+        """Inner-join this cell table against another experiment's.
+
+        Rows match on the ``on`` axes (all of :data:`AXES` by default, i.e.
+        identical grid cells).  The result carries every left column plus
+        each requested right ``metric`` as ``<metric><suffix>`` and a
+        computed ``<metric>_delta`` (left minus right) — the
+        delta-vs-baseline view across *experiments* rather than policies.
+        """
+        from repro.analytics import Join, Query, run_query
+
+        for metric in metrics:
+            self._check_metric(metric)
+        query = Query(table="cells", join=Join(
+            table="other",
+            on=tuple((axis, axis) for axis in on),
+            select=tuple((metric, f"{metric}{suffix}") for metric in metrics),
+        ))
+        joined = run_query(
+            query,
+            {"cells": self.as_table(), "other": other.as_table()},
+            backend=backend,
+        )
+        for metric in metrics:
+            left = joined[metric].values
+            right = joined[f"{metric}{suffix}"].values
+            joined.add_column(f"{metric}_delta", [
+                (a - b) if isinstance(a, (int, float)) and isinstance(b, (int, float))
+                else None
+                for a, b in zip(left, right)
+            ])
+        return joined
+
     def _indices(self, where: Optional[Dict[str, Any]] = None) -> List[int]:
         if not where:
             return list(range(len(self)))

@@ -20,6 +20,11 @@ The suite times, on the bundled workloads:
   :func:`repro.faults.fault_point` hook — which rides on every store
   read/write, pool job and socket round trip, so it must stay in the
   nanoseconds — and deep ``store verify`` throughput in records/sec),
+* the analytics engine (``analytics``: rows/sec for one representative
+  filter + group-aggregate + top-k :class:`repro.analytics.Query` through
+  the stdlib and sqlite backends at small and large row counts, with the
+  sqlite spill cost timed separately and a stdlib-vs-sqlite identity
+  check),
 
 and emits a JSON report (``BENCH_<rev>.json``) whose schema is stable across
 revisions, so consecutive reports are directly comparable.  ``--quick``
@@ -480,6 +485,91 @@ def run_perf_suite(quick: bool = False,
     }
     shutil.rmtree(ingest_dir, ignore_errors=True)
 
+    # --- analytics: declarative query engine throughput ------------------
+    # One representative filter + group-aggregate + top-k query runs over a
+    # synthetic trace-shaped table at two row counts, through both backends.
+    # rows/sec = input rows / best execution time (sqlite spill timed apart,
+    # since registration is a one-off cost per table).
+    from repro.analytics import (
+        Aggregate,
+        Filter,
+        OrderBy,
+        Query,
+        SqliteBackend,
+        StdlibBackend,
+    )
+    from repro.tracedb.table import Table
+
+    def _analytics_table(rows: int) -> Table:
+        return Table.from_columns({
+            "pc": [(i * 7919) % 997 for i in range(rows)],
+            "set_id": [i % 64 for i in range(rows)],
+            "is_miss": [1 if (i * 31) % 97 < 37 else 0 for i in range(rows)],
+            "latency": [float((i * 13) % 451) / 10.0 for i in range(rows)],
+            "policy": [("lru", "belady", "srrip")[i % 3] for i in range(rows)],
+        })
+
+    analytics_query = Query(
+        table="t",
+        filters=(Filter("latency", "gt", 5.0),),
+        group_by=("set_id",),
+        aggregates=(
+            Aggregate("count", alias="n"),
+            Aggregate("mean", "latency"),
+            Aggregate("percentile", "latency", alias="p95_latency", q=0.95),
+        ),
+        order_by=(OrderBy("n", True),),
+        limit=8,
+    )
+    analytics_small_rows, analytics_large_rows = (
+        (1_000, 10_000) if quick else (5_000, 50_000))
+    analytics_sizes: List[Dict[str, object]] = []
+    analytics_rates: Dict[str, Optional[float]] = {}
+    for size_label, analytics_rows in (("small", analytics_small_rows),
+                                       ("large", analytics_large_rows)):
+        analytics_table = _analytics_table(analytics_rows)
+        stdlib_store = StdlibBackend()
+        stdlib_store.register_table("t", analytics_table)
+        stdlib_timing = _measure(
+            f"analytics/stdlib_{size_label}",
+            lambda store=stdlib_store: store.execute(analytics_query),
+            repeats, rows=analytics_rows)
+        sqlite_store = SqliteBackend()
+        spill_timing = _measure(
+            f"analytics/sqlite_spill_{size_label}",
+            lambda store=sqlite_store, table=analytics_table:
+                store.register_table("t", table),
+            repeats, rows=analytics_rows)
+        sqlite_timing = _measure(
+            f"analytics/sqlite_{size_label}",
+            lambda store=sqlite_store: store.execute(analytics_query),
+            repeats, rows=analytics_rows)
+        identical = (stdlib_store.execute(analytics_query).to_dict()
+                     == sqlite_store.execute(analytics_query).to_dict())
+        sqlite_store.close()
+        timings.extend([stdlib_timing, spill_timing, sqlite_timing])
+        stdlib_rate = (analytics_rows / stdlib_timing.seconds
+                       if stdlib_timing.seconds > 0 else None)
+        sqlite_rate = (analytics_rows / sqlite_timing.seconds
+                       if sqlite_timing.seconds > 0 else None)
+        analytics_rates[size_label] = stdlib_rate
+        analytics_rates[f"{size_label}_sqlite"] = sqlite_rate
+        analytics_sizes.append({
+            "label": size_label,
+            "rows": analytics_rows,
+            "stdlib_seconds": stdlib_timing.seconds,
+            "stdlib_rows_per_second": stdlib_rate,
+            "sqlite_spill_seconds": spill_timing.seconds,
+            "sqlite_seconds": sqlite_timing.seconds,
+            "sqlite_rows_per_second": sqlite_rate,
+            "identical": identical,
+        })
+    analytics_section = {
+        "query": analytics_query.to_dict(),
+        "sizes": analytics_sizes,
+        "all_identical": all(size["identical"] for size in analytics_sizes),
+    }
+
     # --- derived summary -------------------------------------------------
     speedup_values = sorted(replay_speedups.values())
     derived: Dict[str, object] = {
@@ -502,6 +592,8 @@ def run_perf_suite(quick: bool = False,
         "ingest_champsim_accesses_per_s": ingest_champsim_rate,
         "fault_point_ns_per_call": fault_point_ns,
         "store_verify_records_per_s": verify_rate,
+        "analytics_stdlib_rows_per_s": analytics_rates.get("large"),
+        "analytics_sqlite_rows_per_s": analytics_rates.get("large_sqlite"),
     }
     if parallel is not None:
         derived["parallel_build_speedup"] = (
@@ -546,6 +638,7 @@ def run_perf_suite(quick: bool = False,
         "batch_rollout": batch_section,
         "ingestion": ingestion_section,
         "resilience": resilience_section,
+        "analytics": analytics_section,
     }
 
 
@@ -673,4 +766,12 @@ def format_report(report: Dict[str, object]) -> str:
             f"store verify "
             + (f"{verify_rate:,.0f} records/s " if verify_rate else "")
             + f"({'clean' if resilience_section.get('verify_clean') else 'UNCLEAN'})")
+    analytics_section = report.get("analytics")
+    if analytics_section and analytics_section.get("sizes"):
+        largest = analytics_section["sizes"][-1]
+        lines.append(
+            f"  analytics: stdlib {largest['stdlib_rows_per_second']:,.0f} "
+            f"rows/s, sqlite {largest['sqlite_rows_per_second']:,.0f} rows/s "
+            f"at {largest['rows']} rows "
+            f"({'identical' if analytics_section.get('all_identical') else 'DIVERGED'})")
     return "\n".join(lines)

@@ -17,13 +17,23 @@ Sieve is precise for the query patterns it anticipates (hit/miss, per-PC miss
 rate, cross-policy comparison) but, as the paper notes, it cannot decompose
 open-ended requests: it never computes counts or arbitrary aggregates itself,
 it only exposes a bounded slice preview and raw value samples.
+
+Every table lookup the stages perform — equality slices, presence counts,
+hit tallies, value sampling — is expressed as a declarative
+:class:`repro.analytics.Query` and executed through a swappable tabular-store
+backend (``analytics=`` constructor knob, ``"stdlib"`` by default), so the
+grounding path runs through one tested engine instead of ad-hoc loops.
+Answers are byte-identical to the pre-engine implementation
+(``tests/test_analytics.py`` holds the equivalence per intent type).
 """
 
 from __future__ import annotations
 
 import time
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
+from repro.analytics import Aggregate, Filter, Query, run_query
 from repro.core.query import (
     POLICY_COMPARISON,
     QueryIntent,
@@ -48,12 +58,45 @@ class SieveRetriever(Retriever):
                  embedder: Optional[HashingEmbedder] = None,
                  slice_limit: int = 40,
                  values_sample_limit: int = 32,
-                 cross_policy: bool = True):
+                 cross_policy: bool = True,
+                 analytics: str = "stdlib"):
         super().__init__(database)
         self.embedder = embedder if embedder is not None else HashingEmbedder()
         self.slice_limit = slice_limit
         self.values_sample_limit = values_sample_limit
         self.cross_policy = cross_policy
+        #: analytics backend name every stage lookup executes through
+        #: (see :mod:`repro.analytics`).
+        self.analytics = analytics
+
+    # ------------------------------------------------------------------
+    # analytics engine plumbing: every table lookup in the stages below is
+    # a declarative Query executed through the configured backend.
+    # ------------------------------------------------------------------
+    def _trace_slice(self, table, **conditions):
+        """Rows of ``table`` matching exact-equality ``conditions``."""
+        query = Query(table="trace", filters=tuple(
+            Filter(name, "eq", value) for name, value in conditions.items()))
+        return run_query(query, {"trace": table}, backend=self.analytics)
+
+    def _trace_count(self, table, **conditions) -> int:
+        """Number of rows of ``table`` matching ``conditions``."""
+        query = Query(
+            table="trace",
+            filters=tuple(Filter(name, "eq", value)
+                          for name, value in conditions.items()),
+            aggregates=(Aggregate("count", alias="n"),))
+        return run_query(query, {"trace": table},
+                         backend=self.analytics)["n"].values[0]
+
+    def _field_values(self, table, field: str) -> List:
+        """Non-null, non-sentinel values of ``field`` in row order."""
+        query = Query(
+            table="trace",
+            select=(field,),
+            filters=(Filter(field, "not_null"), Filter(field, "ne", -1)))
+        return run_query(query, {"trace": table},
+                         backend=self.analytics)[field].values
 
     # ------------------------------------------------------------------
     # stage 1: workload / policy selection
@@ -171,15 +214,15 @@ class SieveRetriever(Retriever):
             conditions["program_counter"] = pc
         if address is not None:
             conditions["memory_address"] = address
-        slice_table = table.where(**conditions)
+        slice_table = self._trace_slice(table, **conditions)
 
         pc_in_primary = (pc is None
-                         or len(table.where(program_counter=pc)) > 0)
+                         or self._trace_count(table, program_counter=pc) > 0)
         if pc is not None and not pc_in_primary:
             # Check the whole workload: if the PC never appears, the query's
             # premise is wrong (trick question) and Sieve can say so.
             appears_somewhere = any(
-                len(entry.data_frame.where(program_counter=pc)) > 0
+                self._trace_count(entry.data_frame, program_counter=pc) > 0
                 for entry in self.database.entries_for_workload(primary.workload))
             facts["pc_found"] = False
             if not appears_somewhere:
@@ -188,7 +231,7 @@ class SieveRetriever(Retriever):
                 other_workloads = [
                     workload for workload in self.database.workloads
                     if workload != primary.workload and any(
-                        len(entry.data_frame.where(program_counter=pc)) > 0
+                        self._trace_count(entry.data_frame, program_counter=pc) > 0
                         for entry in self.database.entries_for_workload(workload))
                 ]
                 if other_workloads:
@@ -206,7 +249,8 @@ class SieveRetriever(Retriever):
             facts["exact_match"] = False
             if address is not None and pc is not None and facts.get("pc_found"):
                 # The PC exists but never touches this address.
-                touched = primary.data_frame.where(program_counter=pc)
+                touched = self._trace_slice(primary.data_frame,
+                                            program_counter=pc)
                 addresses = set(touched["memory_address"].values)
                 if address not in addresses:
                     facts["premise_violation"] = (
@@ -215,29 +259,29 @@ class SieveRetriever(Retriever):
             return
 
         facts["exact_match"] = True
-        rows = slice_table.head(self.slice_limit).rows()
+        rows = list(islice(slice_table.iter_rows(), self.slice_limit))
         facts["slice_rows"] = rows
         first = rows[0]
         if pc is not None and address is not None:
-            outcomes = slice_table["evict"].values
-            hits = sum(1 for value in outcomes if value == "Cache Hit")
-            facts["outcome"] = ("Cache Hit" if hits * 2 > len(outcomes)
+            total = len(slice_table)
+            hits = self._trace_count(slice_table, evict="Cache Hit")
+            facts["outcome"] = ("Cache Hit" if hits * 2 > total
                                 else "Cache Miss")
             text_blocks.append(
                 f"{primary.policy.upper()} + {primary.workload} @ PC {pc}, "
                 f"addr {address}:\n  Cache result: {facts['outcome']} "
-                f"({hits}/{len(outcomes)} of matching accesses hit)")
+                f"({hits}/{total} of matching accesses hit)")
             if self.cross_policy:
                 cross = {}
                 for entry in entries:
                     if entry.key == primary.key:
                         continue
-                    other = entry.data_frame.where(**{
-                        "program_counter": pc, "memory_address": address})
+                    other = self._trace_slice(
+                        entry.data_frame,
+                        program_counter=pc, memory_address=address)
                     if len(other) == 0:
                         continue
-                    other_hits = sum(1 for value in other["evict"].values
-                                     if value == "Cache Hit")
+                    other_hits = self._trace_count(other, evict="Cache Hit")
                     label = ("Cache Hit" if other_hits * 2 > len(other)
                              else "Cache Miss")
                     cross[entry.policy] = label
@@ -260,8 +304,7 @@ class SieveRetriever(Retriever):
                 text_blocks.append("  Assembly:\n" + first["assembly_code"])
 
         if intent.target_field:
-            values = [value for value in slice_table[intent.target_field].values
-                      if value is not None and value != -1]
+            values = self._field_values(slice_table, intent.target_field)
             facts["values_sample"] = values[: self.values_sample_limit]
             facts["values_sample_truncated"] = len(values) > self.values_sample_limit
             text_blocks.append(
@@ -284,8 +327,9 @@ class SieveRetriever(Retriever):
         for entry in entries:
             if entry.workload != primary.workload:
                 continue
-            expert = CacheStatisticalExpert(entry.data_frame)
-            if len(entry.data_frame.where(program_counter=pc)) == 0:
+            expert = CacheStatisticalExpert(entry.data_frame,
+                                            backend=self.analytics)
+            if self._trace_count(entry.data_frame, program_counter=pc) == 0:
                 continue
             stats = expert.pc_statistics(pc)
             per_policy_stats[entry.policy] = stats

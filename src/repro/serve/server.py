@@ -251,8 +251,26 @@ class CacheMindServer:
             # stay byte-identical to the in-process to_dict() so remote
             # and local cell tables compare equal.
             return self.service.run_experiment(spec).to_dict()
+        if op == "query":
+            fingerprint = payload.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise ValueError("'query' needs a 'fingerprint' string "
+                                 "(a unique prefix is enough)")
+            query = payload.get("query")
+            if not isinstance(query, dict):
+                raise ValueError("'query' needs a 'query' object "
+                                 "(Query.to_dict form)")
+            backend = payload.get("backend", "stdlib")
+            if not isinstance(backend, str):
+                raise ValueError("'backend' must be an analytics backend "
+                                 "name string")
+            full, table = self.service.query_experiment(
+                fingerprint, query, backend=backend)
+            # Columns ride verbatim (no transport metadata) so the remote
+            # result table compares byte-identical to an in-process run.
+            return {"fingerprint": full, "columns": table.to_dict()}
         raise ValueError(f"unknown op {op!r}; supported: ask, batch, "
-                         f"experiment, stats, health, ping")
+                         f"experiment, query, stats, health, ping")
 
     # ------------------------------------------------------------------
     # health

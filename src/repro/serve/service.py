@@ -210,6 +210,41 @@ class CacheMindService:
             }
         return result
 
+    def query_experiment(self, fingerprint: str,
+                         query: Union[Dict[str, Any], "object"],
+                         backend: str = "stdlib"):
+        """Run a declarative analytics query against a store-backed
+        experiment result.
+
+        ``fingerprint`` may be a unique prefix of a stored experiment's
+        fingerprint; ``query`` is a :class:`repro.analytics.Query` or its
+        wire form, executed against the experiment's cell table through the
+        named analytics ``backend``.  Returns ``(full_fingerprint, table)``.
+        Like :meth:`run_experiment` this runs outside the serving lock —
+        it only reads the (thread-safe) store, so asks keep serving.
+        """
+        from repro.analytics import as_query
+
+        store = getattr(self.session.simulation_cache, "store", None)
+        if store is None:
+            raise ValueError(
+                "no trace store attached; start the service with a "
+                "store_dir to query stored experiments")
+        known = store.experiment_fingerprints()
+        matches = [item for item in known if item.startswith(fingerprint)]
+        if not matches:
+            raise ValueError(
+                f"no stored experiment matches fingerprint {fingerprint!r}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"fingerprint prefix {fingerprint!r} is ambiguous "
+                f"({len(matches)} matches); use more characters")
+        result = ExperimentResult.load(store, matches[0])
+        if result is None:
+            raise ValueError(
+                f"stored experiment {matches[0]} failed to load")
+        return matches[0], result.query(as_query(query), backend=backend)
+
     # ------------------------------------------------------------------
     # asyncio front-end
     # ------------------------------------------------------------------

@@ -114,10 +114,43 @@ def _pearson(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
 
 
 class CacheStatisticalExpert:
-    """Computes per-PC / per-set / whole-trace statistics over a trace table."""
+    """Computes per-PC / per-set / whole-trace statistics over a trace table.
 
-    def __init__(self, table: Table):
+    Row lookups (PC slices, exact-equality counts, hit/miss outcomes) are
+    expressed as declarative :class:`repro.analytics.Query` objects and
+    executed through a tabular-store ``backend`` (``"stdlib"`` by default;
+    ``"sqlite"`` spills the trace to disk first).  The cross-column row
+    logic (bad-eviction classification, recency/miss correlation) stays as
+    explicit loops — it is row-wise conditional logic the declarative layer
+    deliberately does not model.
+    """
+
+    def __init__(self, table: Table, backend: str = "stdlib"):
         self.table = table
+        self._backend_name = backend
+        self._store = None
+
+    # ------------------------------------------------------------------
+    # analytics engine plumbing
+    # ------------------------------------------------------------------
+    def _engine(self):
+        """The lazily-created tabular store with the trace registered."""
+        if self._store is None:
+            from repro.analytics import create_backend
+
+            self._store = create_backend(self._backend_name)
+            self._store.register_table("trace", self.table)
+        return self._store
+
+    def _slice_query(self, **conditions) -> Table:
+        """Rows matching exact-equality ``conditions``, via the engine."""
+        from repro.analytics import Filter, Query
+
+        return self._engine().execute(Query(
+            table="trace",
+            filters=tuple(Filter(name, "eq", value)
+                          for name, value in conditions.items()),
+        ))
 
     # ------------------------------------------------------------------
     # per-PC statistics
@@ -127,7 +160,7 @@ class CacheStatisticalExpert:
         return self.table["program_counter"].unique()
 
     def pc_slice(self, pc: str) -> Table:
-        return self.table.where(program_counter=pc)
+        return self._slice_query(program_counter=pc)
 
     def pc_statistics(self, pc: str) -> PCStatistics:
         """Full statistics for one program counter."""
@@ -198,7 +231,7 @@ class CacheStatisticalExpert:
         return sorted(self.table["cache_set_id"].unique())
 
     def set_statistics(self, set_id: int) -> SetStatistics:
-        rows = self.table.where(cache_set_id=set_id)
+        rows = self._slice_query(cache_set_id=set_id)
         hits = sum(1 for value in rows["evict"].values if value == HIT_LABEL)
         return SetStatistics(set_id=set_id, accesses=len(rows), hits=hits)
 
@@ -263,11 +296,19 @@ class CacheStatisticalExpert:
     # ------------------------------------------------------------------
     def count(self, **conditions) -> int:
         """Number of rows matching exact-equality conditions."""
-        return len(self.table.where(**conditions))
+        from repro.analytics import Aggregate, Filter, Query
+
+        result = self._engine().execute(Query(
+            table="trace",
+            filters=tuple(Filter(name, "eq", value)
+                          for name, value in conditions.items()),
+            aggregates=(Aggregate("count", alias="n"),),
+        ))
+        return result["n"].values[0]
 
     def hit_or_miss(self, pc: str, address: str) -> Optional[str]:
         """Outcome label of the first access matching (pc, address)."""
-        rows = self.table.where(program_counter=pc, memory_address=address)
+        rows = self._slice_query(program_counter=pc, memory_address=address)
         if len(rows) == 0:
             return None
         outcomes = rows["evict"].values

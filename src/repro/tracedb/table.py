@@ -96,12 +96,45 @@ class Column:
         return max(numeric) if numeric else None
 
     def std(self) -> Optional[float]:
+        """Population standard deviation (ddof=0) of the numeric values.
+
+        The divisor is ``n``, not ``n - 1`` — the convention shared with the
+        ``std`` aggregate in :mod:`repro.analytics`, so engine results and
+        direct ``Column`` calls always agree.  Returns ``None`` when the
+        column holds no numeric values.
+        """
         numeric = self._numeric_values()
         if len(numeric) < 1:
             return None
         mean = sum(numeric) / len(numeric)
         variance = sum((value - mean) ** 2 for value in numeric) / len(numeric)
         return math.sqrt(variance)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Percentile of the numeric values with linear interpolation.
+
+        ``q`` is a fraction in [0, 1] (``0.5`` is the median).  The value at
+        fractional rank ``q * (n - 1)`` is interpolated linearly between the
+        neighbouring order statistics, matching ``numpy.percentile``'s
+        default method.  Returns ``None`` when the column holds no numeric
+        values.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
+        numeric = sorted(self._numeric_values())
+        if not numeric:
+            return None
+        position = q * (len(numeric) - 1)
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return numeric[low]
+        fraction = position - low
+        return numeric[low] * (1.0 - fraction) + numeric[high] * fraction
+
+    def median(self) -> Optional[float]:
+        """Median of the numeric values (``percentile(0.5)``)."""
+        return self.percentile(0.5)
 
     def count(self) -> int:
         return len(self.values)
@@ -349,7 +382,8 @@ class Table:
 
         ``aggregations`` maps output column name to ``(input column, func)``
         where ``func`` is one of ``mean``, ``sum``, ``min``, ``max``,
-        ``count``, ``std``.
+        ``count``, ``std``, ``median``.  (``std`` is population std, ddof=0;
+        for parameterised percentiles use the :mod:`repro.analytics` engine.)
         """
         rows = []
         for value, group in self.groupby(group_column).items():
@@ -368,6 +402,8 @@ class Table:
                     row[out_name] = column.max()
                 elif func == "std":
                     row[out_name] = column.std()
+                elif func == "median":
+                    row[out_name] = column.median()
                 else:
                     raise ValueError(f"unsupported aggregation {func!r}")
             rows.append(row)
@@ -392,7 +428,7 @@ class Table:
         names = list(self._columns)
         if not names:
             return "(empty table)"
-        shown = self.head(max_rows).rows()
+        shown = list(self.head(max_rows).iter_rows())
         widths = {name: len(name) for name in names}
         for row in shown:
             for name in names:

@@ -54,6 +54,28 @@ def test_run_perf_suite_serving_section():
     assert "serving:" in format_report(report)
 
 
+def test_run_perf_suite_analytics_section():
+    report = run_perf_suite(**SUITE_KWARGS)
+    names = [timing["name"] for timing in report["timings"]]
+    assert "analytics/stdlib_small" in names
+    assert "analytics/sqlite_spill_small" in names
+    assert "analytics/sqlite_small" in names
+    assert "analytics/stdlib_large" in names
+    analytics = report["analytics"]
+    assert analytics["all_identical"] is True
+    assert len(analytics["sizes"]) == 2
+    for size in analytics["sizes"]:
+        assert size["identical"] is True
+        assert size["stdlib_rows_per_second"] > 0
+        assert size["sqlite_rows_per_second"] > 0
+    derived = report["derived"]
+    largest = analytics["sizes"][-1]
+    assert derived["analytics_stdlib_rows_per_s"] == largest["stdlib_rows_per_second"]
+    assert derived["analytics_sqlite_rows_per_s"] == largest["sqlite_rows_per_second"]
+    rendered = format_report(report)
+    assert "analytics:" in rendered and "identical" in rendered
+
+
 def test_run_perf_suite_keeps_named_store_dir(tmp_path):
     store_dir = str(tmp_path / "bench_store")
     report = run_perf_suite(store_dir=store_dir, **SUITE_KWARGS)
