@@ -96,6 +96,7 @@ def _make_session(args: argparse.Namespace, **overrides) -> CacheMind:
         mode=args.mode,
         seed=args.seed,
         store_dir=getattr(args, "store_dir", None),
+        store_read_only=getattr(args, "store_read_only", False),
     )
     options.update(overrides)
     return CacheMind(**options)
@@ -124,6 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "with `trace import` become nameable "
                                "workloads, and results persist across "
                                "processes")
+    simulate.add_argument("--store-read-only", action="store_true",
+                          help="mount --store-dir without write access "
+                               "(serve warm results, persist nothing)")
 
     ask = subparsers.add_parser(
         "ask", help="answer natural-language questions over the trace store")
@@ -152,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent trace store; traces imported with "
                           "`trace import` become nameable workloads, and "
                           "results persist across processes")
+    ask.add_argument("--store-read-only", action="store_true",
+                     help="mount --store-dir without write access "
+                          "(serve warm results, persist nothing)")
 
     bench = subparsers.add_parser(
         "bench", help="benchmark every policy on every workload")
@@ -317,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store-dir", default=None, metavar="DIR",
                        help="persistent trace store backing the session "
                             "(warm restarts)")
+    serve.add_argument("--store-read-only", action="store_true",
+                       help="mount --store-dir without write access — the "
+                            "replica configuration: many servers share one "
+                            "warm corpus a single writer maintains")
     serve.add_argument("--no-warm-up", action="store_true",
                        help="skip the eager database build (first request "
                             "pays for it instead)")
@@ -356,8 +367,17 @@ def build_parser() -> argparse.ArgumentParser:
     store_verify.add_argument("--dir", required=True, metavar="DIR")
     store_verify.add_argument("--repair", action="store_true",
                               help="quarantine corrupt records, delete "
-                                   "orphaned temp files and rebuild a "
-                                   "corrupt manifest")
+                                   "stale temp files, rebuild a corrupt "
+                                   "manifest and heal the index")
+    store_verify.add_argument("--shard", action="append", default=None,
+                              metavar="XX", dest="shards",
+                              help="restrict the deep check to this shard "
+                                   "prefix (repeatable); the index audit "
+                                   "runs only on full verifies")
+    store_verify.add_argument("--temp-max-age", type=float, default=None,
+                              metavar="SECONDS",
+                              help="treat .tmp files older than this as "
+                                   "stale (default: 600)")
 
     store_gc = store_sub.add_parser(
         "gc", help="drop corrupt/foreign records; optionally prune by age")
@@ -365,6 +385,29 @@ def build_parser() -> argparse.ArgumentParser:
     store_gc.add_argument("--max-records", type=int, default=None,
                           help="keep at most this many records "
                                "(oldest pruned first)")
+    store_gc.add_argument("--temp-max-age", type=float, default=None,
+                          metavar="SECONDS",
+                          help="sweep .tmp files older than this (default: "
+                               "600; fresher ones are presumed to be a "
+                               "concurrent writer's in-progress write)")
+
+    store_migrate = store_sub.add_parser(
+        "migrate", help="re-shard a flat-layout store in place and build "
+                        "its index (record bytes untouched — warm reads "
+                        "stay byte-identical)")
+    store_migrate.add_argument("--dir", required=True, metavar="DIR")
+
+    store_reindex = store_sub.add_parser(
+        "reindex", help="rebuild the append-only index from the object "
+                        "headers alone (byte-identical to a compacted "
+                        "live index)")
+    store_reindex.add_argument("--dir", required=True, metavar="DIR")
+
+    store_compact = store_sub.add_parser(
+        "compact", help="rewrite the index in canonical form (drops "
+                        "duplicate/torn/stale lines without opening any "
+                        "record file)")
+    store_compact.add_argument("--dir", required=True, metavar="DIR")
 
     trace = subparsers.add_parser(
         "trace",
@@ -831,23 +874,44 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
     from repro.tracedb.store import TraceStore
 
-    # Read-only commands must not conjure an empty store out of a typo'd
-    # path; only save/load (which build) may create the directory.
-    if (args.store_command in ("info", "gc", "verify")
+    from repro.tracedb.objstore import TEMP_MAX_AGE_SECONDS
+
+    # Read-only/maintenance commands must not conjure an empty store out of
+    # a typo'd path; only save/load (which build) may create the directory.
+    if (args.store_command in ("info", "gc", "verify", "migrate", "reindex",
+                               "compact")
             and not os.path.isdir(args.dir)):
         print(f"error: no trace store at {args.dir!r}", file=sys.stderr)
         return 1
 
     if args.store_command == "info":
         info = TraceStore(args.dir).info()
+        index = info["index"]
         print(f"trace store at {info['root']}")
-        print(f"  schema version: {info['schema']}")
+        print(f"  schema version: {info['schema']} "
+              f"(layout: {info['layout']})")
         print(f"  records: {info['records']} "
               f"({info['entries']} entries, {info['results']} results, "
               f"{info['experiments']} experiments, "
               f"{info['traces']} traces, "
               f"{info['unreadable']} unreadable, "
               f"{info['quarantined']} quarantined)")
+        print(f"  shards: {len(info['shards'])} in use", end="")
+        if info["shards"]:
+            busiest = max(info["shards"].items(), key=lambda kv: kv[1])
+            print(f" (busiest {busiest[0]}: {busiest[1]} record(s))")
+        else:
+            print()
+        print(f"  index: {index['entries']} entr(ies) covering "
+              f"{index['live_objects']} live object(s)"
+              + ("" if index["present"] else " [missing — header-scan "
+                                             "fallback]"))
+        if (index["stale_entries"] or index["unindexed_objects"]
+                or index["invalid_lines"] or index["compaction_lag"]):
+            print(f"  index health: {index['stale_entries']} stale, "
+                  f"{index['unindexed_objects']} unindexed, "
+                  f"{index['invalid_lines']} invalid line(s), "
+                  f"compaction lag {index['compaction_lag']}")
         print(f"  size: {info['total_bytes'] / 1024:.1f} KiB")
         return 0
 
@@ -855,15 +919,32 @@ def _cmd_store(args: argparse.Namespace) -> int:
         # strict=False: verify must *report* whatever is on disk (including
         # a corrupt manifest) rather than auto-heal it on open; --repair is
         # the explicit healing step.
+        temp_max_age = (args.temp_max_age if args.temp_max_age is not None
+                        else TEMP_MAX_AGE_SECONDS)
         report = TraceStore(args.dir, strict=False).verify(
-            repair=args.repair)
+            repair=args.repair, shards=args.shards,
+            temp_max_age=temp_max_age)
         by_kind = report["by_kind"]
-        print(f"store verify: {report['root']}")
+        scope = (f" (shards {', '.join(report['shards'])})"
+                 if report["shards"] else "")
+        print(f"store verify: {report['root']}{scope}")
         print(f"  checked {report['checked']} record(s): {report['ok']} ok "
               f"({by_kind['entry']} entries, {by_kind['result']} results, "
               f"{by_kind['experiment']} experiments, "
               f"{by_kind['trace']} traces)")
         print(f"  manifest: {report['manifest']}")
+        index = report["index"]
+        if index is not None:
+            issues = (len(index["stale"]) + len(index["unindexed"])
+                      + index["invalid_lines"])
+            state = ("healed" if index["healed"]
+                     else "ok" if index["present"] and not issues
+                     else "missing" if not index["present"]
+                     else f"{issues} issue(s)")
+            print(f"  index: {state} "
+                  f"({len(index['stale'])} stale, "
+                  f"{len(index['unindexed'])} unindexed, "
+                  f"{index['invalid_lines']} invalid line(s))")
         for label in ("corrupt", "misplaced", "foreign", "temp"):
             for name in report[label]:
                 print(f"  {label}: {name}")
@@ -884,13 +965,45 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "gc":
         # strict=False: gc is the documented recovery path for a store
         # written by a different build, so it must be able to open one.
+        temp_max_age = (args.temp_max_age if args.temp_max_age is not None
+                        else TEMP_MAX_AGE_SECONDS)
         removed = TraceStore(args.dir, strict=False).gc(
-            max_records=args.max_records)
+            max_records=args.max_records, temp_max_age=temp_max_age)
         for reason, names in removed.items():
             for name in names:
                 print(f"  removed ({reason}): {name}")
         total = sum(len(names) for names in removed.values())
         print(f"gc: removed {total} record(s) from {args.dir}")
+        return 0
+
+    if args.store_command == "migrate":
+        layout = TraceStore.detect_layout(args.dir)
+        # Opening a flat store auto-migrates; the explicit command exists
+        # so operators can do it at a chosen moment (and see the stats)
+        # instead of paying it on the next session's first open.
+        store = TraceStore(args.dir, strict=False)
+        stats = (store.migration if store.migration is not None
+                 else store.migrate())
+        print(f"migrate: {args.dir} ({layout} layout)")
+        print(f"  moved {stats['moved']} record(s) into shards, "
+              f"skipped {stats['skipped']}, indexed {stats['indexed']}"
+              + (f", {stats['unreadable']} unreadable"
+                 if stats.get("unreadable") else ""))
+        return 0
+
+    if args.store_command == "reindex":
+        stats = TraceStore(args.dir, strict=False).reindex()
+        print(f"reindex: {args.dir}: {stats['indexed']} object(s) indexed"
+              + (f", {stats['unreadable']} unreadable skipped"
+                 if stats["unreadable"] else ""))
+        return 0
+
+    if args.store_command == "compact":
+        stats = TraceStore(args.dir, strict=False).compact_index()
+        print(f"compact: {args.dir}: {stats['entries']} entr(ies) kept "
+              f"({stats['dropped_stale']} stale, "
+              f"{stats['dropped_duplicates']} duplicate, "
+              f"{stats['dropped_invalid']} invalid line(s) dropped)")
         return 0
 
     # save / load share the session plumbing; each uses a private cache so

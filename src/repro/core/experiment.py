@@ -73,6 +73,7 @@ from repro.sim.config import HierarchyConfig, resolve_config
 from repro.sim.batch import BatchSimulator, RolloutSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.parallel import ParallelSimulator, SimulationJob
+from repro.errors import StoreReadOnlyError
 from repro.tracedb.store import StoreCorruptionWarning
 from repro.workloads.generator import get_workload, workload_kind
 from repro.workloads.ingest import ensure_store_traces_registered
@@ -749,9 +750,13 @@ class ExperimentRunner:
                      "total": total_seconds})
         if cache.store is not None:
             # The store is an accelerator: a failed persist must not lose
-            # the freshly computed in-memory result.
+            # the freshly computed in-memory result.  A read-only mount is
+            # the deliberate "serve warm, don't persist" configuration, so
+            # it skips silently rather than warning per experiment.
             try:
                 result.save(cache.store)
+            except StoreReadOnlyError:
+                pass
             except OSError as error:
                 warnings.warn(
                     f"experiment result persist failed ({error!r}); "

@@ -74,7 +74,7 @@ from repro.core.query import (
     TRICK,
     WORKLOAD_ANALYSIS,
 )
-from repro.errors import UnknownNameError
+from repro.errors import StoreReadOnlyError, UnknownNameError
 from repro.llm.backend import LLMBackend, get_backend
 from repro.llm.memory import ConversationMemory
 from repro.retrieval.base import Retriever, get_retriever, resolve_retriever_name
@@ -264,6 +264,11 @@ class SimulationCache:
         """
         try:
             save(*args)
+        except StoreReadOnlyError:
+            # A read-only mount means "serve warm, don't persist" — the
+            # deliberate configuration for replicas sharing one corpus, so
+            # not even worth a warning per record.
+            pass
         except OSError as error:
             warnings.warn(
                 f"trace store write failed ({error!r}); continuing without "
@@ -512,7 +517,8 @@ class CacheMind:
                  simulation_cache: Optional[SimulationCache] = None,
                  jobs: int = 1,
                  executor: str = "auto",
-                 store_dir: Optional[str] = None):
+                 store_dir: Optional[str] = None,
+                 store_read_only: bool = False):
         if not workloads:
             raise ValueError("CacheMind needs at least one workload")
         if not policies:
@@ -534,12 +540,20 @@ class CacheMind:
         # explicit simulation_cache the store is attached to it (unless it
         # already has one); otherwise a private store-backed cache is used
         # rather than mutating the process-wide singleton.
+        # store_read_only mounts that store without write access — the
+        # replica configuration: many sessions share one warm corpus a
+        # single writer maintains; nothing this session computes is
+        # persisted back.
         self.store_dir = store_dir
+        self.store_read_only = store_read_only
+        if store_read_only and store_dir is None:
+            raise ValueError("store_read_only=True requires store_dir")
         if simulation_cache is not None:
             self.simulation_cache = simulation_cache
             if store_dir is not None:
                 if self.simulation_cache.store is None:
-                    self.simulation_cache.store = TraceStore(store_dir)
+                    self.simulation_cache.store = TraceStore(
+                        store_dir, read_only=store_read_only)
                 elif (os.path.abspath(self.simulation_cache.store.root)
                       != os.path.abspath(os.fspath(store_dir))):
                     # Silently persisting to a different directory than the
@@ -549,7 +563,8 @@ class CacheMind:
                         f"{self.simulation_cache.store.root!r}; cannot also "
                         f"attach store_dir={store_dir!r}")
         elif store_dir is not None:
-            self.simulation_cache = SimulationCache(store=TraceStore(store_dir))
+            self.simulation_cache = SimulationCache(
+                store=TraceStore(store_dir, read_only=store_read_only))
         else:
             self.simulation_cache = SIMULATION_CACHE
         # get_backend passes instances through; lenient=True drops the

@@ -44,6 +44,18 @@ class DeadlineExceededError(RuntimeError):
     """
 
 
+class StoreReadOnlyError(RuntimeError):
+    """A write was attempted on a read-only store mount.
+
+    Raised by every mutating :class:`~repro.tracedb.store.TraceStore`
+    method when the store was opened with ``read_only=True`` (e.g. a
+    serve-layer replica mounting a shared warm corpus).  Sessions treat
+    it as "do not persist" — reads keep serving — while direct callers
+    (``trace import``, ``store gc``) surface it as a clean error instead
+    of silently mutating a store another process owns.
+    """
+
+
 class StoreVersionError(RuntimeError):
     """A persistent trace store was written with an incompatible schema.
 

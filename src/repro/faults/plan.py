@@ -43,6 +43,7 @@ __all__ = [
 FAULT_POINTS: Tuple[str, ...] = (
     "store.read",
     "store.write",
+    "index.append",
     "worker.simulate",
     "socket.recv",
     "socket.send",

@@ -8,6 +8,10 @@ The suite times, on the bundled workloads:
 * cold-vs-warm *session* starts through the persistent on-disk store
   (``store_warm_start``: a fresh memoiser loading every entry from disk
   instead of simulating),
+* index-served store maintenance (``store_index``: ``info``/``gc`` answered
+  from the append-only object index — zero record opens on a warm store,
+  scaling with what changed — against the full per-object header scan
+  (``reindex``) they replace),
 * the serving path (``serving``: batch-ask throughput and p50/p95 request
   latency through a warm :class:`~repro.serve.service.CacheMindService`),
 * the declarative experiment path (``experiment``: cold grid execution in
@@ -250,6 +254,66 @@ def run_perf_suite(quick: bool = False,
     verify_timing = _measure("store/verify", store_verify, repeats,
                              store_dir=store_path)
     timings.append(verify_timing)
+
+    # --- store_index: index-served maintenance vs full header scans ------
+    # Pad the store with extra small records so info/gc answer over a
+    # corpus visibly larger than the warm-start handful, then compare
+    # the index-served paths (zero record opens on a warm store — they
+    # scale with what *changed*) against a full reindex scan (one header
+    # read per object — the O(records) baseline they replace).
+    seed_store = TraceStore(store_path)
+    index_pad_records = 200 if quick else 1000
+    for pad in range(index_pad_records):
+        seed_store.save("result", ("bench-index-pad", pad), {"pad": pad})
+    index_total_records = len(seed_store)
+
+    info_probe: Dict[str, int] = {}
+
+    def store_info_indexed():
+        # A fresh handle per run models a new maintenance process whose
+        # only warmth is the on-disk index.
+        probe = TraceStore(store_path)
+        probe.info()
+        info_probe["record_opens"] = probe.record_opens
+
+    info_timing = _measure("store/info_indexed", store_info_indexed,
+                           repeats, records=index_total_records)
+    info_timing.meta["record_opens"] = info_probe.get("record_opens")
+    timings.append(info_timing)
+
+    gc_probe: Dict[str, int] = {}
+
+    def store_gc_indexed():
+        probe = TraceStore(store_path)
+        probe.gc()
+        gc_probe["record_opens"] = probe.record_opens
+
+    gc_timing = _measure("store/gc_indexed", store_gc_indexed, repeats,
+                         records=index_total_records)
+    gc_timing.meta["record_opens"] = gc_probe.get("record_opens")
+    timings.append(gc_timing)
+
+    def store_reindex_scan():
+        TraceStore(store_path).reindex()
+
+    reindex_timing = _measure("store/reindex_full_scan", store_reindex_scan,
+                              repeats, records=index_total_records)
+    timings.append(reindex_timing)
+
+    store_index_section = {
+        "records": index_total_records,
+        "info_seconds": info_timing.seconds,
+        "info_record_opens": info_probe.get("record_opens"),
+        "gc_seconds": gc_timing.seconds,
+        "gc_record_opens": gc_probe.get("record_opens"),
+        "reindex_seconds": reindex_timing.seconds,
+        # How much cheaper answering from the index is than the header
+        # scan it replaces (the old info/gc cost model).
+        "info_speedup_vs_scan": (reindex_timing.seconds / info_timing.seconds
+                                 if info_timing.seconds > 0 else None),
+        "index_served": info_probe.get("record_opens") == 0,
+    }
+
     if cleanup_store:
         shutil.rmtree(store_path, ignore_errors=True)
 
@@ -592,6 +656,9 @@ def run_perf_suite(quick: bool = False,
         "ingest_champsim_accesses_per_s": ingest_champsim_rate,
         "fault_point_ns_per_call": fault_point_ns,
         "store_verify_records_per_s": verify_rate,
+        "store_info_speedup_vs_scan":
+            store_index_section["info_speedup_vs_scan"],
+        "store_index_served": store_index_section["index_served"],
         "analytics_stdlib_rows_per_s": analytics_rates.get("large"),
         "analytics_sqlite_rows_per_s": analytics_rates.get("large_sqlite"),
     }
@@ -633,6 +700,7 @@ def run_perf_suite(quick: bool = False,
         "timings": [asdict(timing) for timing in timings],
         "derived": derived,
         "store_warm_start": store_warm_start,
+        "store_index": store_index_section,
         "serving": serving,
         "experiment": experiment_section,
         "batch_rollout": batch_section,
@@ -722,6 +790,13 @@ def format_report(report: Dict[str, object]) -> str:
             f"{store_section['speedup']:.1f}x "
             f"({store_section['store_records']} records, "
             f"{'zero simulations' if store_section['zero_simulations'] else 'RE-SIMULATED'})")
+    index_section = report.get("store_index")
+    if index_section and index_section.get("info_speedup_vs_scan") is not None:
+        lines.append(
+            f"  store index: info {index_section['info_speedup_vs_scan']:.1f}x "
+            f"cheaper than a full header scan at "
+            f"{index_section['records']} records "
+            f"({'zero record opens' if index_section.get('index_served') else 'FELL BACK TO HEADER SCAN'})")
     serving_section = report.get("serving")
     if serving_section and serving_section.get("throughput_qps") is not None:
         latency = serving_section["latency_ms"]

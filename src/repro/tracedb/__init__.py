@@ -17,6 +17,9 @@ This package provides the external store that CacheMind retrievers query:
 * :mod:`~repro.tracedb.store` -- the versioned persistent on-disk store
   (:class:`~repro.tracedb.store.TraceStore`) that lets fresh processes load
   entries/results instead of re-simulating.
+* :mod:`~repro.tracedb.objstore` -- the storage substrate under the store:
+  content-addressed sharded immutable objects plus the append-only,
+  byte-identically rebuildable index log.
 """
 
 from repro.tracedb.table import Table, Column

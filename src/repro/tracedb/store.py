@@ -7,21 +7,41 @@ computed :class:`~repro.tracedb.database.TraceEntry` (and bare
 directory and re-loaded by later sessions or parallel workers, so a warm
 start runs **zero** simulations.
 
-Layout — one directory per store:
+Layout (sharded, schema v1) — one directory per store:
 
-* ``manifest.json`` — ``{"schema": N, "created_at": ...}``.  Opening a store
-  whose manifest declares a different :data:`STORE_SCHEMA_VERSION` raises
-  :class:`~repro.errors.StoreVersionError` (never silently mixes layouts);
-  ``python -m repro store gc`` opens non-strictly, drops the foreign
-  records and re-stamps the manifest.
-* ``entry-<digest>.pkl`` / ``result-<digest>.pkl`` — one record per cached
-  object: a small uncompressed header block (``{"schema", "kind",
-  "key_repr"}``) followed by the zlib-compressed pickled payload, so
-  maintenance commands (``info``/``gc``) read a few hundred bytes per
-  record instead of decompressing whole simulation logs.  ``digest`` is a
-  SHA-256 prefix of the key's canonical ``repr``; the stored ``key_repr``
-  is verified on load, so a (vanishingly unlikely) digest collision
-  degrades to a miss, never a wrong answer.
+* ``manifest.json`` — ``{"schema": N, "layout": "sharded", ...}``.  Opening
+  a store whose manifest declares a different :data:`STORE_SCHEMA_VERSION`
+  raises :class:`~repro.errors.StoreVersionError` (never silently mixes
+  layouts); ``python -m repro store gc`` opens non-strictly, drops the
+  foreign records and re-stamps the manifest.
+* ``objects/<ab>/<kind>-<digest>.pkl`` — one immutable content-addressed
+  record per cached object, sharded by the digest's hex prefix: a small
+  uncompressed header block (``{"schema", "kind", "key_repr"}``) followed
+  by the zlib-compressed pickled payload.  ``digest`` is a SHA-256 prefix
+  of the key's canonical ``repr``; the stored ``key_repr`` is verified on
+  load, so a (vanishingly unlikely) digest collision degrades to a miss,
+  never a wrong answer.  Objects are written atomically (temp file +
+  ``os.replace`` inside the shard) and never modified, so concurrent
+  writer processes can share a store without locks.
+* ``index/log.jsonl`` — the append-only object index: one fsync'd JSON
+  line per committed object (see :mod:`repro.tracedb.objstore`).  The
+  index is an *accelerator only*: ``info``/``gc``/``trace list``/
+  ``experiment_fingerprints`` answer from it without opening a single
+  record file, but a missing or torn index never blocks anything —
+  readers fall back to the object headers, and :meth:`TraceStore.reindex`
+  rebuilds the log **byte-identically** from the headers alone.
+
+The pre-sharding *flat* layout (records at the top level, no index) is
+migrated transparently: opening a flat store re-shards it in place
+(record bytes untouched, so warm reads stay byte-identical), and
+``python -m repro store migrate`` does the same explicitly.
+
+Read-only mounts: ``TraceStore(root, read_only=True)`` refuses every
+mutation with :class:`~repro.errors.StoreReadOnlyError` (and never
+creates directories, stamps manifests or quarantines files), which is how
+the serve layer fronts one shared warm corpus from many replicas while a
+single writer keeps appending — atomic object writes and torn-line-
+tolerant index replay make concurrent reads race-safe.
 
 Keys cover everything that determines a simulation's output — the trace
 content fingerprint, hierarchy config, policy, engine mode/detail and the
@@ -36,11 +56,11 @@ visible.  A corrupt manifest is quarantined and rebuilt from the surviving
 record headers (a *readable* manifest declaring a foreign schema still
 raises :class:`~repro.errors.StoreVersionError` — that is a real version
 mismatch, not damage).  :meth:`TraceStore.verify` deep-checks every record
-(magic, header, payload decompression, filename↔key digest) and with
-``repair=True`` quarantines what is broken — exposed as ``python -m repro
-store verify [--repair]``.  Writes are atomic (temp file + ``os.replace``)
-so concurrent sessions sharing a store directory never observe half-written
-records.
+(magic+header+zlib+pickle+filename digest+shard placement) and the index
+(torn lines, stale entries, unindexed objects); ``repair=True`` quarantines
+what is broken, sweeps *stale* temp files (age-gated: a concurrent
+writer's fresh ``.tmp`` is never touched) and re-writes the canonical
+index — exposed as ``python -m repro store verify [--repair]``.
 """
 
 from __future__ import annotations
@@ -50,29 +70,39 @@ import json
 import os
 import pickle
 import struct
-import tempfile
 import time
 import warnings
 import zlib
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import StoreVersionError
-from repro.faults import fault_point
+from repro.errors import StoreReadOnlyError, StoreVersionError
+from repro.faults import InjectedFault, fault_point
+from repro.tracedb.objstore import (
+    INDEX_DIR,
+    INDEX_NAME,
+    OBJECTS_DIR,
+    RECORD_MAGIC,
+    TEMP_MAX_AGE_SECONDS,
+    AppendOnlyIndex,
+    ObjectStore,
+    decode_header,
+    detect_layout,
+    encode_record,
+    flat_object_names,
+    index_entry_for,
+    migrate_flat_objects,
+    parse_object_name,
+    shard_of,
+)
 
-#: Bump when the on-disk record layout changes incompatibly.
+#: Bump when the on-disk record layout changes incompatibly.  The sharded
+#: re-layout kept record bytes identical, so it did not bump this.
 STORE_SCHEMA_VERSION = 1
 
 #: Subdirectory corrupt files are renamed into instead of deleted, so a
 #: damaged record can never crash a reader twice and forensics stay
 #: possible.  Its contents are invisible to every read path.
 QUARANTINE_DIR = "quarantine"
-
-#: Magic prefix of every record file (schema v1: pickled header block +
-#: zlib-compressed pickled payload).
-RECORD_MAGIC = b"CMST1\n"
-
-#: Header-length prefix layout (little-endian uint32 after the magic).
-_HEADER_LEN = struct.Struct("<I")
 
 #: Name of the per-store metadata file.
 MANIFEST_NAME = "manifest.json"
@@ -138,75 +168,131 @@ class TraceStore:
     ``strict=False`` skips the manifest schema check instead of raising
     :class:`StoreVersionError` — used by maintenance commands (``gc``) that
     must be able to open a foreign-version store to clean it up.
+    ``read_only=True`` mounts the store without write access: every
+    mutating method raises :class:`~repro.errors.StoreReadOnlyError`,
+    nothing on disk is created, stamped or quarantined, and reads stay
+    race-safe against a concurrent writer process.
     """
 
     def __init__(self, root: str, schema_version: int = STORE_SCHEMA_VERSION,
-                 strict: bool = True):
+                 strict: bool = True, read_only: bool = False):
         self.root = os.fspath(root)
         self.schema_version = schema_version
+        self.read_only = read_only
         self.saves = 0
         self.loads = 0
         self.load_misses = 0
-        os.makedirs(self.root, exist_ok=True)
-        self._check_or_write_manifest(strict)
+        #: Migration stats when opening re-sharded a flat store, else None.
+        self.migration: Optional[Dict[str, Any]] = None
+        if read_only:
+            if not os.path.isdir(self.root):
+                raise FileNotFoundError(
+                    f"no trace store at {self.root!r} (read-only mounts "
+                    f"never create directories)")
+        else:
+            os.makedirs(self.root, exist_ok=True)
+        self._objects = ObjectStore(self.root, read_only=read_only)
+        self._open_layout(strict)
 
     # ------------------------------------------------------------------
-    # manifest
+    # counters
+    # ------------------------------------------------------------------
+    @property
+    def record_opens(self) -> int:
+        """Record files opened so far (header or payload) by this handle.
+
+        Index-served maintenance (``info``/``gc``/listings on a store with
+        a complete index) must leave this untouched — tests assert on it.
+        """
+        return self._objects.record_opens
+
+    @property
+    def index_appends(self) -> int:
+        return self._objects.index.appends
+
+    # ------------------------------------------------------------------
+    # manifest + layout
     # ------------------------------------------------------------------
     def _manifest_path(self) -> str:
         return os.path.join(self.root, MANIFEST_NAME)
 
     def _write_manifest(self) -> None:
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only")
         self._atomic_write_bytes(self._manifest_path(), json.dumps({
             "schema": self.schema_version,
+            "layout": "sharded",
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         }, indent=2).encode("utf-8"))
 
-    def _read_manifest_schema(self) -> Tuple[str, Any]:
-        """Classify the manifest: ``("ok", schema)``, ``("corrupt", error)``
-        or ``("missing", None)``."""
+    def _read_manifest(self) -> Tuple[str, Any, Optional[str]]:
+        """Classify the manifest: ``(state, schema_or_error, layout)`` with
+        state one of ``"ok"``/``"corrupt"``/``"missing"``."""
         path = self._manifest_path()
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
         except FileNotFoundError:
-            return ("missing", None)
+            return ("missing", None, None)
         except (OSError, ValueError) as error:
-            return ("corrupt", error)
+            return ("corrupt", error, None)
         if not isinstance(manifest, dict):
             return ("corrupt",
                     ValueError(f"manifest is {type(manifest).__name__}, "
-                               f"not an object"))
-        return ("ok", manifest.get("schema"))
+                               f"not an object"), None)
+        layout = manifest.get("layout")
+        return ("ok", manifest.get("schema"),
+                layout if isinstance(layout, str) else None)
 
-    def _check_or_write_manifest(self, strict: bool) -> None:
-        state, detail = self._read_manifest_schema()
-        if state == "missing":
-            self._write_manifest()
-            return
-        if not strict:
-            return
-        if state == "corrupt":
-            self._rebuild_manifest(detail)
-            return
-        if detail != self.schema_version:
+    def _open_layout(self, strict: bool) -> None:
+        state, detail, manifest_layout = self._read_manifest()
+        if state == "ok" and strict and detail != self.schema_version:
             raise StoreVersionError(
                 f"trace store at {self.root!r} was written with schema "
                 f"version {detail!r}; this build reads version "
                 f"{self.schema_version}. Run `python -m repro store gc "
                 f"--dir {self.root}` (or delete the directory) to "
                 f"rebuild.")
+        layout = detect_layout(
+            self.root, manifest_layout if state == "ok" else None)
+        if layout == "flat":
+            # Transparent migration: re-shard in place.  Record bytes are
+            # untouched, so a migrated store hands back byte-identical
+            # payloads with zero re-simulations.
+            if self.read_only:
+                raise StoreVersionError(
+                    f"trace store at {self.root!r} uses the flat layout; "
+                    f"run `python -m repro store migrate --dir {self.root}` "
+                    f"(read-only mounts cannot migrate in place)")
+            self.migration = self.migrate()
+            return
+        if state == "missing":
+            if not self.read_only:
+                self._write_manifest()
+            return
+        if state == "corrupt":
+            if self.read_only:
+                warnings.warn(
+                    f"trace store manifest at {self.root!r} is corrupt "
+                    f"({detail!r}); read-only mount cannot heal it — "
+                    f"continuing with schema {self.schema_version}",
+                    StoreCorruptionWarning, stacklevel=3)
+            elif strict:
+                self._rebuild_manifest(detail)
 
     def _rebuild_manifest(self, error: Any) -> None:
         """Self-heal an unreadable/corrupt manifest from the record headers.
 
         Safe only when every readable record declares the current schema (an
         empty store trivially qualifies); a store full of foreign records is
-        a genuine version mismatch and still refuses to open.
+        a genuine version mismatch and still refuses to open.  Both the
+        sharded tree and any not-yet-migrated top-level records are
+        scanned, so a flat store's foreign records cannot be adopted.
         """
         survivors = 0
         foreign = set()
-        for _name, header in self.iter_records():
+        for header in self._survivor_headers():
             survivors += 1
             if header.get("schema") != self.schema_version:
                 foreign.add(header.get("schema"))
@@ -225,7 +311,21 @@ class TraceStore:
             f"header(s)",
             StoreCorruptionWarning, stacklevel=3)
 
+    def _survivor_headers(self) -> Iterator[Dict[str, Any]]:
+        for name in self._objects.list_object_names():
+            header = self._read_header_quietly(name)
+            if header is not None:
+                yield header
+        for name in flat_object_names(self.root):
+            try:
+                with open(os.path.join(self.root, name), "rb") as handle:
+                    yield decode_header(handle)
+            except Exception:
+                continue
+
     def _atomic_write_bytes(self, path: str, data: bytes) -> None:
+        import tempfile
+
         handle, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(handle, "wb") as temp:
@@ -238,11 +338,30 @@ class TraceStore:
                 pass
             raise
 
+    @staticmethod
+    def detect_layout(root: str) -> str:
+        """Classify a store directory without opening it:
+        ``"sharded"``/``"flat"``/``"empty"``."""
+        manifest_layout = None
+        try:
+            with open(os.path.join(root, MANIFEST_NAME), "r",
+                      encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if isinstance(manifest, dict):
+                value = manifest.get("layout")
+                manifest_layout = value if isinstance(value, str) else None
+        except (OSError, ValueError):
+            pass
+        return detect_layout(root, manifest_layout)
+
     # ------------------------------------------------------------------
     # record IO
     # ------------------------------------------------------------------
+    def _record_name(self, kind: str, key: tuple) -> str:
+        return f"{kind}-{key_digest(key)}.pkl"
+
     def _record_path(self, kind: str, key: tuple) -> str:
-        return os.path.join(self.root, f"{kind}-{key_digest(key)}.pkl")
+        return self._objects.object_path(self._record_name(kind, key))
 
     #: Failures decoding a record's *content*: the file on disk is damaged
     #: (torn write, bit rot), so the reader quarantines it.  Transient I/O
@@ -255,24 +374,8 @@ class TraceStore:
     #: Exceptions that mean "this record is unreadable" rather than a bug.
     _DECODE_ERRORS = (OSError,) + _CONTENT_ERRORS
 
-    @staticmethod
-    def _encode_record(header: Dict[str, Any], payload: Any) -> bytes:
-        header_bytes = pickle.dumps(header, protocol=4)
-        return (RECORD_MAGIC + _HEADER_LEN.pack(len(header_bytes))
-                + header_bytes
-                + zlib.compress(pickle.dumps(payload, protocol=4), 1))
-
-    @staticmethod
-    def _decode_header(handle) -> Dict[str, Any]:
-        """Read just the small header block from an open record file."""
-        magic = handle.read(len(RECORD_MAGIC))
-        if magic != RECORD_MAGIC:
-            raise ValueError("missing record magic")
-        (header_len,) = _HEADER_LEN.unpack(handle.read(_HEADER_LEN.size))
-        header = pickle.loads(handle.read(header_len))
-        if not isinstance(header, dict):
-            raise ValueError("malformed record header")
-        return header
+    _encode_record = staticmethod(encode_record)
+    _decode_header = staticmethod(decode_header)
 
     def save(self, kind: str, key: tuple, payload: Any,
              extra_header: Optional[Dict[str, Any]] = None) -> str:
@@ -284,7 +387,16 @@ class TraceStore:
         ``info``/``gc`` never decompress payloads.  ``extra_header`` keys
         ride in that block — used by trace records to expose their manifest
         metadata without decompressing the trace itself.
+
+        The committed object is then announced in the append-only index
+        (one fsync'd line).  A failed index append degrades to compaction
+        lag — the record itself is durable and loadable; ``reindex``/
+        ``verify --repair``/``gc`` all heal the gap.
         """
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only; "
+                f"refusing to write {kind} record")
         if kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}")
         header = {
@@ -298,12 +410,21 @@ class TraceStore:
                     raise ValueError(
                         f"extra_header may not override {reserved!r}")
             header.update(extra_header)
-        path = self._record_path(kind, key)
-        # The fault point sits here (not in _atomic_write_bytes) so chaos
-        # plans count record writes, not manifest re-stamps, and a
-        # "truncate" rule models a torn write of this record's bytes.
-        data = fault_point("store.write", self._encode_record(header, payload))
-        self._atomic_write_bytes(path, data)
+        name = self._record_name(kind, key)
+        # The fault point sits here (not in write_object) so chaos plans
+        # count record writes, not manifest re-stamps, and a "truncate"
+        # rule models a torn write of this record's bytes.
+        data = fault_point("store.write", encode_record(header, payload))
+        path = self._objects.write_object(name, data)
+        try:
+            self._objects.index.append(
+                index_entry_for(name, header, len(data)))
+        except (OSError, InjectedFault) as error:
+            warnings.warn(
+                f"trace store index append failed for {name!r} ({error!r}); "
+                f"the record is durable and readable — `store reindex` (or "
+                f"verify --repair / gc) will re-announce it",
+                StoreCorruptionWarning, stacklevel=2)
         self.saves += 1
         return path
 
@@ -311,15 +432,19 @@ class TraceStore:
         """Load one record, or ``None`` (with a warning if it was corrupt).
 
         Any failure mode — missing file, truncated pickle, foreign schema,
-        digest collision — degrades to a miss so callers simply rebuild.
-        Damaged files are quarantined so they can never crash a second
-        read; transient I/O failures leave the file in place.
+        digest collision, torn index — degrades to a miss so callers simply
+        rebuild.  Loads never consult the index (object paths are pure
+        functions of the key), which is what makes a missing index unable
+        to block reads.  Damaged files are quarantined so they can never
+        crash a second read (except on read-only mounts, which may not
+        mutate anything); transient I/O failures leave the file in place.
         """
-        path = self._record_path(kind, key)
+        name = self._record_name(kind, key)
+        path = self._objects.object_path(name)
         try:
             fault_point("store.read")
-            with open(path, "rb") as handle:
-                header = self._decode_header(handle)
+            with self._objects.open_object(name) as handle:
+                header = decode_header(handle)
                 mismatched = (header.get("schema") != self.schema_version
                               or header.get("kind") != kind
                               or header.get("key_repr") != repr(key))
@@ -329,7 +454,8 @@ class TraceStore:
             self.load_misses += 1
             return None
         except self._CONTENT_ERRORS as error:
-            quarantined = self._quarantine(os.path.basename(path))
+            quarantined = (None if self.read_only
+                           else self._quarantine(name))
             warnings.warn(
                 f"trace store record {path!r} is corrupt ({error!r}); "
                 + (f"quarantined at {quarantined!r} and "
@@ -373,8 +499,9 @@ class TraceStore:
     # Trace records are keyed by the content fingerprint alone (the
     # fingerprint hashes the workload name plus all four columns, so one
     # trace maps to exactly one record).  The manifest metadata rides in
-    # the uncompressed header block so ``trace list``/``trace info`` never
-    # decompress multi-megabyte column payloads.
+    # the uncompressed header block *and* the index line, so ``trace
+    # list``/``trace info`` decompress nothing and (with a live index)
+    # open no record files at all.
     def save_trace(self, trace, source: str = "", fmt: str = "") -> str:
         """Persist one ingested :class:`~repro.workloads.trace.MemoryTrace`
         keyed by its content fingerprint."""
@@ -394,7 +521,8 @@ class TraceStore:
     def trace_manifest(self) -> List[Dict[str, Any]]:
         """Metadata of every stored trace, name-sorted.
 
-        Header-only (payloads stay compressed on disk): each row is the
+        Index-served (payloads stay compressed on disk, and with a
+        complete index no record file is even opened): each row is the
         ``{"name", "accesses", "fingerprint", "source", "format"}`` dict
         written at import time.  Rows missing that metadata (foreign or
         damaged headers) are skipped rather than guessed at.
@@ -425,10 +553,10 @@ class TraceStore:
     def experiment_fingerprints(self) -> List[str]:
         """Fingerprints of every stored experiment, sorted.
 
-        Reads only the small uncompressed record headers (the fingerprint
-        is the whole key), so prefix resolution never decompresses
-        payloads — use :meth:`list_experiments` when the spec summaries
-        are actually needed.
+        Index-served (the fingerprint is the whole key, recovered from the
+        indexed ``key_repr``): with a complete index this opens zero
+        record files — use :meth:`list_experiments` when the spec
+        summaries are actually needed.
         """
         fingerprints = []
         for _name, header in self.iter_records():
@@ -449,19 +577,12 @@ class TraceStore:
         re-deriving it from the fingerprint.
         """
         summaries = []
-        for _name, header in self.iter_records():
-            if header.get("kind") != KIND_EXPERIMENT:
-                continue
-            try:
-                key = _experiment_key_from_repr(header.get("key_repr") or "")
-            except (ValueError, SyntaxError):
-                continue
-            payload = self.load(KIND_EXPERIMENT, key)
+        for fingerprint in self.experiment_fingerprints():
+            payload = self.load(KIND_EXPERIMENT, (fingerprint,))
             if payload is None:
                 continue
             summaries.append({
-                # key[0] IS the fingerprint (the whole record key).
-                "fingerprint": payload.get("fingerprint", key[0]),
+                "fingerprint": payload.get("fingerprint", fingerprint),
                 "spec": payload.get("spec", {}),
                 "cells": len((payload.get("columns") or {}).get("workload",
                                                                ())),
@@ -469,39 +590,110 @@ class TraceStore:
         return sorted(summaries, key=lambda item: item["fingerprint"])
 
     # ------------------------------------------------------------------
+    # index-served view
+    # ------------------------------------------------------------------
+    def _read_header_quietly(self, name: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self._objects.read_object_header(name)
+        except Exception:
+            return None
+
+    def _entry_from_disk(self, name: str) -> Optional[Dict[str, Any]]:
+        """Rebuild one object's index entry from the file itself (one
+        header read + one stat), or ``None`` if it is unreadable."""
+        header = self._read_header_quietly(name)
+        if header is None:
+            return None
+        try:
+            size = os.path.getsize(self._objects.object_path(name))
+        except OSError:
+            return None
+        return index_entry_for(name, header, size)
+
+    def _records_view(self) -> Tuple[Dict[str, Optional[Dict[str, Any]]],
+                                     Dict[str, Any]]:
+        """One coherent picture of the live objects, index-accelerated.
+
+        Returns ``(view, index_health)`` where ``view`` maps every object
+        filename on disk to its index entry (``None`` for unreadable
+        files).  Objects covered by the index cost **zero** record opens;
+        only the delta — objects the index has not seen — pays a header
+        read, which is what makes maintenance O(changed) instead of
+        O(records).  Stale index entries (object deleted since) are
+        excluded from the view and reported in the health block.
+        """
+        disk = self._objects.list_object_names()
+        entries, health = self._objects.index.read()
+        view: Dict[str, Optional[Dict[str, Any]]] = {}
+        unindexed: List[str] = []
+        for name in disk:
+            entry = entries.get(name)
+            if entry is not None:
+                view[name] = entry
+            else:
+                unindexed.append(name)
+        for name in unindexed:
+            view[name] = self._entry_from_disk(name)
+        disk_set = set(disk)
+        stale = sorted(name for name in entries if name not in disk_set)
+        covered = len(disk) - len(unindexed)
+        health.update({
+            "entries": len(entries),
+            "live_objects": len(disk),
+            "stale_entries": len(stale),
+            "unindexed_objects": len(unindexed),
+            # Lines a compaction would drop: duplicates, stale, torn.
+            "compaction_lag": (health["lines"] + health["invalid_lines"]
+                               - covered),
+        })
+        return view, health
+
+    def __len__(self) -> int:
+        return len(self._objects.list_object_names())
+
+    def iter_records(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(filename, header_summary)`` for every readable record.
+
+        Served from the append-only index: with a complete index not a
+        single record file is opened; unindexed objects (a writer that
+        crashed between commit and index append, or a deleted index) fall
+        back to a per-object header read.  Records that vanish
+        mid-iteration (a concurrent ``gc``/``clear``) are skipped.
+        """
+        view, _health = self._records_view()
+        for name in sorted(view):
+            entry = view[name]
+            if entry is None:
+                continue
+            summary = {"kind": entry.get("kind"),
+                       "schema": entry.get("schema"),
+                       "key_repr": entry.get("key_repr")}
+            if "trace" in entry:
+                summary["trace"] = entry["trace"]
+            yield name, summary
+
+    # ------------------------------------------------------------------
     # inspection / maintenance
     # ------------------------------------------------------------------
-    def _record_files(self) -> List[str]:
-        names = [name for name in os.listdir(self.root)
-                 if name.endswith(".pkl")]
-        return sorted(names)
-
-    def _temp_files(self) -> List[str]:
-        """Leftover ``.tmp`` files from interrupted atomic writes.
-
-        ``os.replace`` means a live record never has this suffix, so they
-        are always safe to delete."""
-        return sorted(name for name in os.listdir(self.root)
-                      if name.endswith(".tmp"))
-
-    def _unlink_quietly(self, name: str) -> bool:
-        """Remove a store file, tolerating a concurrent session racing us."""
-        try:
-            os.unlink(os.path.join(self.root, name))
-            return True
-        except OSError:
-            return False
-
-    def _quarantine(self, name: str) -> Optional[str]:
+    def _quarantine(self, name: str,
+                    relpath: Optional[str] = None) -> Optional[str]:
         """Rename a damaged store file into ``quarantine/``.
 
-        Returns the new path, or ``None`` if the move failed (e.g. a
-        concurrent session already quarantined or rebuilt it) — callers
-        degrade to a miss either way.  ``os.replace`` keeps this atomic;
+        ``relpath`` overrides the source location for files found outside
+        their canonical shard (verify's "misplaced" case).  Returns the
+        new path, or ``None`` if the move failed (e.g. a concurrent
+        session already quarantined or rebuilt it) — callers degrade to a
+        miss either way.  ``os.replace`` keeps this atomic;
         re-quarantining an identically-named file overwrites the old copy,
         which is fine because equal names mean equal keys.
         """
-        source = os.path.join(self.root, name)
+        if self.read_only:
+            return None
+        if relpath is None:
+            parsed = parse_object_name(name)
+            relpath = (os.path.join(OBJECTS_DIR, shard_of(parsed[1]), name)
+                       if parsed else name)
+        source = os.path.join(self.root, relpath)
         target_dir = os.path.join(self.root, QUARANTINE_DIR)
         try:
             os.makedirs(target_dir, exist_ok=True)
@@ -518,54 +710,42 @@ class TraceStore:
         except OSError:
             return []
 
-    def __len__(self) -> int:
-        return len(self._record_files())
-
-    def iter_records(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
-        """Yield ``(filename, header)`` for every readable record.
-
-        Only the small header block (``kind``/``schema``/``key_repr``) is
-        read per record — payloads are never decompressed — so maintenance
-        stays cheap however large the store grows.  Records that vanish
-        mid-iteration (a concurrent ``gc``/``clear``) are skipped.
-        """
-        for name in self._record_files():
-            path = os.path.join(self.root, name)
-            try:
-                with open(path, "rb") as handle:
-                    header = self._decode_header(handle)
-            except Exception:
-                continue
-            summary = {"kind": header.get("kind"),
-                       "schema": header.get("schema"),
-                       "key_repr": header.get("key_repr")}
-            if "trace" in header:
-                summary["trace"] = header["trace"]
-            yield name, summary
-
     def info(self) -> Dict[str, Any]:
-        """Summary of the store: schema, per-kind counts, total bytes."""
+        """Summary of the store: schema, per-kind and per-shard counts,
+        index health, total bytes.
+
+        Index-served: with a complete index this opens zero record files
+        (``record_opens`` stays flat) — shard listings and size stats are
+        directory metadata only.
+        """
+        view, index_health = self._records_view()
         counts = {kind: 0 for kind in KINDS}
+        shards: Dict[str, int] = {}
+        by_kind_shard: Dict[str, Dict[str, int]] = {kind: {} for kind in KINDS}
         unreadable = 0
         total_bytes = 0
-        readable_names = set()
-        for name, header in self.iter_records():
-            readable_names.add(name)
-            kind = header.get("kind")
+        for name, entry in view.items():
+            parsed = parse_object_name(name)
+            shard = shard_of(parsed[1]) if parsed else "??"
+            shards[shard] = shards.get(shard, 0) + 1
+            try:
+                total_bytes += os.path.getsize(self._objects.object_path(name))
+            except OSError:
+                pass  # removed by a concurrent session
+            if entry is None:
+                unreadable += 1
+                continue
+            kind = entry.get("kind")
             if kind in counts:
                 counts[kind] += 1
-        names = self._record_files()
-        for name in names:
-            try:
-                total_bytes += os.path.getsize(os.path.join(self.root, name))
-            except OSError:
-                continue  # removed by a concurrent session
-            if name not in readable_names:
-                unreadable += 1
+                by_kind_shard[kind][shard] = \
+                    by_kind_shard[kind].get(shard, 0) + 1
         return {
             "root": self.root,
             "schema": self.schema_version,
-            "records": len(names),
+            "layout": "sharded",
+            "read_only": self.read_only,
+            "records": len(view),
             "entries": counts[KIND_ENTRY],
             "results": counts[KIND_RESULT],
             "experiments": counts[KIND_EXPERIMENT],
@@ -573,48 +753,151 @@ class TraceStore:
             "unreadable": unreadable,
             "quarantined": len(self.quarantined_files()),
             "total_bytes": total_bytes,
+            "shards": dict(sorted(shards.items())),
+            "by_kind_shard": {kind: dict(sorted(per_shard.items()))
+                              for kind, per_shard in by_kind_shard.items()},
+            "index": index_health,
             "saves": self.saves,
             "loads": self.loads,
             "load_misses": self.load_misses,
+            "record_opens": self.record_opens,
         }
 
-    def verify(self, repair: bool = False) -> Dict[str, Any]:
-        """Deep-check every record; optionally quarantine what is broken.
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def reindex(self) -> Dict[str, int]:
+        """Rebuild the index from the object headers alone.
 
-        Unlike :meth:`iter_records` (header-only), this decompresses and
-        unpickles every payload and checks that each filename's digest
-        matches the key stored in its header, so silent bit rot anywhere in
-        a record is caught.  With ``repair=True``: corrupt and misplaced
-        records are quarantined, orphaned ``.tmp`` files are deleted, and a
-        corrupt manifest is quarantined and re-stamped.  Foreign-schema
-        records (and a readable foreign manifest) are *reported* but left
-        for ``gc`` — verify never destroys data that another build could
-        still read.
+        The full-scan recovery path (O(records)): every object's header is
+        read and the canonical index — one sorted line per readable object
+        — atomically replaces the log.  Because index entries are pure
+        functions of the headers, a reindex of an uncorrupted store
+        reproduces a freshly-compacted index **byte-identically**.
+        Unreadable objects are skipped (they are ``gc``'s problem), so a
+        torn or deleted index never costs data.
+        """
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only")
+        entries: Dict[str, Dict[str, Any]] = {}
+        unreadable = 0
+        for name in self._objects.list_object_names():
+            entry = self._entry_from_disk(name)
+            if entry is None:
+                unreadable += 1
+                continue
+            entries[name] = entry
+        self._objects.index.write_canonical(entries)
+        return {"indexed": len(entries), "unreadable": unreadable}
+
+    def compact_index(self) -> Dict[str, int]:
+        """Rewrite the index in canonical form from the live log.
+
+        O(index): drops duplicate, torn and stale lines without opening a
+        single record file.  Does *not* discover unindexed objects — that
+        is :meth:`reindex` (full scan) or ``verify --repair``.
+        """
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only")
+        entries, health = self._objects.index.read()
+        disk = set(self._objects.list_object_names())
+        live = {name: entry for name, entry in entries.items()
+                if name in disk}
+        self._objects.index.write_canonical(live)
+        return {"entries": len(live),
+                "dropped_stale": len(entries) - len(live),
+                "dropped_duplicates": health["duplicate_lines"],
+                "dropped_invalid": health["invalid_lines"]}
+
+    def index_bytes(self) -> bytes:
+        """Raw bytes of the index log (empty if missing) — the probe the
+        byte-identical-reindex tests compare."""
+        try:
+            with open(self._objects.index.path, "rb") as handle:
+                return handle.read()
+        except OSError:
+            return b""
+
+    def migrate(self) -> Dict[str, Any]:
+        """Re-shard a flat-layout store in place and build its index.
+
+        Idempotent: on an already-sharded store this just reindexes and
+        re-stamps the manifest.  Returns
+        ``{"moved", "skipped", "indexed", "unreadable"}``.
+        """
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only")
+        stats = migrate_flat_objects(self._objects)
+        reindexed = self.reindex()
+        self._write_manifest()
+        return {"moved": len(stats["moved"]),
+                "skipped": len(stats["skipped"]), **reindexed}
+
+    # ------------------------------------------------------------------
+    # verify / gc / clear
+    # ------------------------------------------------------------------
+    def verify(self, repair: bool = False,
+               shards: Optional[Sequence[str]] = None,
+               temp_max_age: float = TEMP_MAX_AGE_SECONDS) -> Dict[str, Any]:
+        """Deep-check every record and the index; optionally heal.
+
+        Unlike the index-served listings, this decompresses and unpickles
+        every payload and checks that each filename's digest matches the
+        key stored in its header *and* that the file sits in its digest's
+        shard, so silent bit rot anywhere in a record is caught.
+        ``shards`` restricts the deep check to those shard prefixes (the
+        index audit runs only on full verifies).  With ``repair=True``:
+        corrupt and misplaced records are quarantined, *stale* ``.tmp``
+        files (older than ``temp_max_age`` — a concurrent writer's fresh
+        temp is never touched) are deleted, a corrupt manifest is
+        quarantined and re-stamped, and the canonical index is rebuilt
+        from the verified headers (dropping entries for missing objects,
+        announcing unindexed ones).  Foreign-schema records (and a
+        readable foreign manifest) are *reported* but left for ``gc`` —
+        verify never destroys data that another build could still read.
         """
         report: Dict[str, Any] = {
             "root": self.root,
             "schema": self.schema_version,
+            "shards": sorted(shards) if shards else None,
             "checked": 0,
             "ok": 0,
             "by_kind": {kind: 0 for kind in KINDS},
             "corrupt": [],
             "misplaced": [],
             "foreign": [],
-            "temp": self._temp_files(),
+            "temp": [],
+            "fresh_temp": 0,
             "quarantined": [],
             "removed_temp": [],
             "repaired": False,
         }
-        manifest_state, manifest_detail = self._read_manifest_schema()
+        shard_filter = set(shards) if shards else None
+        for relpath, age in self._objects.temp_files():
+            if age >= temp_max_age:
+                report["temp"].append(relpath)
+            else:
+                report["fresh_temp"] += 1
+        manifest_state, manifest_detail, _layout = self._read_manifest()
         if manifest_state == "ok" and manifest_detail != self.schema_version:
             manifest_state = "foreign"
         report["manifest"] = manifest_state
-        for name in self._record_files():
+        locations: Dict[str, str] = {}
+        ok_entries: Dict[str, Dict[str, Any]] = {}
+        for shard, name in self._objects.walk_objects():
+            if shard_filter is not None and shard not in shard_filter:
+                continue
             report["checked"] += 1
-            path = os.path.join(self.root, name)
+            relpath = os.path.join(OBJECTS_DIR, shard, name)
+            locations[name] = relpath
+            path = os.path.join(self.root, relpath)
             try:
-                with open(path, "rb") as handle:
-                    header = self._decode_header(handle)
+                size = os.path.getsize(path)
+                with self._objects.open_for_verify(path) as handle:
+                    header = decode_header(handle)
                     payload_ok = pickle.loads(zlib.decompress(handle.read()))
                 del payload_ok
                 key_repr = header.get("key_repr")
@@ -622,16 +905,20 @@ class TraceStore:
                 if (not isinstance(key_repr, str)
                         or kind not in KINDS):
                     raise ValueError("malformed header fields")
-                if header.get("schema") != self.schema_version:
-                    report["foreign"].append(name)
-                    continue
                 digest = hashlib.sha256(
                     key_repr.encode("utf-8")).hexdigest()[:32]
-                if name != f"{kind}-{digest}.pkl":
-                    # Valid record content under the wrong filename: it can
-                    # never be loaded (lookups go by digest), so it is dead
-                    # weight and quarantined on repair.
+                if (name != f"{kind}-{digest}.pkl"
+                        or shard != shard_of(digest)):
+                    # Valid record content under the wrong filename/shard:
+                    # it can never be loaded (lookups go by digest), so it
+                    # is dead weight and quarantined on repair.
                     report["misplaced"].append(name)
+                    continue
+                if header.get("schema") != self.schema_version:
+                    # Reported but left for gc; still indexed (the entry
+                    # carries its schema) so the heal matches a reindex.
+                    report["foreign"].append(name)
+                    ok_entries[name] = index_entry_for(name, header, size)
                     continue
             except self._DECODE_ERRORS as error:
                 report["corrupt"].append(name)
@@ -639,87 +926,149 @@ class TraceStore:
                 continue
             report["ok"] += 1
             report["by_kind"][kind] += 1
+            ok_entries[name] = index_entry_for(name, header, size)
+        if shard_filter is None:
+            entries, index_health = self._objects.index.read()
+            disk = set(locations)
+            report["index"] = {
+                "present": index_health["present"],
+                "invalid_lines": index_health["invalid_lines"],
+                "duplicate_lines": index_health["duplicate_lines"],
+                "stale": sorted(name for name in entries
+                                if name not in disk),
+                "unindexed": sorted(name for name in ok_entries
+                                    if name not in entries),
+                "healed": False,
+            }
+        else:
+            report["index"] = None
         if repair:
             for name in report["corrupt"] + report["misplaced"]:
-                target = self._quarantine(name)
+                target = self._quarantine(name, relpath=locations.get(name))
                 if target is not None:
                     report["quarantined"].append(name)
-            for name in report["temp"]:
-                if self._unlink_quietly(name):
-                    report["removed_temp"].append(name)
+            for relpath in report["temp"]:
+                if self._objects.remove_temp(relpath):
+                    report["removed_temp"].append(relpath)
             if manifest_state == "corrupt":
                 self._quarantine(MANIFEST_NAME)
                 self._write_manifest()
                 report["manifest"] = "ok"
+            if report["index"] is not None:
+                # The canonical index from exactly the records that
+                # survived the deep check: stale entries dropped,
+                # unindexed objects announced, torn lines gone.
+                self._objects.index.write_canonical(ok_entries)
+                report["index"]["healed"] = True
             report["repaired"] = True
             # "clean" reflects the post-repair state: everything broken
             # either quarantined/removed, or still outstanding.
             leftover = [name for name in report["corrupt"]
                         + report["misplaced"]
                         if name not in report["quarantined"]]
-            leftover += [name for name in report["temp"]
-                         if name not in report["removed_temp"]]
+            leftover += [relpath for relpath in report["temp"]
+                         if relpath not in report["removed_temp"]]
             report["clean"] = (not leftover and not report["foreign"]
                                and report["manifest"] == "ok")
         else:
+            index_dirty = (report["index"] is not None
+                           and (report["index"]["invalid_lines"]
+                                or report["index"]["stale"]
+                                or report["index"]["unindexed"]))
             report["clean"] = (not report["corrupt"]
                                and not report["misplaced"]
                                and not report["foreign"]
                                and not report["temp"]
+                               and not index_dirty
                                and report["manifest"] == "ok")
         return report
 
-    def gc(self, max_records: Optional[int] = None) -> Dict[str, List[str]]:
+    def gc(self, max_records: Optional[int] = None,
+           temp_max_age: float = TEMP_MAX_AGE_SECONDS) -> Dict[str, List[str]]:
         """Remove unreadable/foreign records; optionally prune to a budget.
 
-        Unreadable (corrupt/truncated) files, records written with a
-        different schema version, and orphaned ``.tmp`` files from
-        interrupted writes are always removed.  With ``max_records``, the
-        oldest surviving records (by modification time) are pruned until at
-        most that many remain.  The manifest is re-stamped with the current
-        schema afterwards, so ``gc`` is the supported recovery path for a
-        store left behind by a different build (open with ``strict=False``).
-        Returns the removed filenames per reason.
+        Index-served: objects the index covers are judged from their index
+        entries plus one ``stat`` (zero record opens on a warm store) —
+        a file whose size drifted from its indexed entry is re-examined
+        from its header; only that changed delta and unindexed objects pay
+        header reads, so gc scales with what changed, not with the corpus.
+        Unreadable (corrupt/truncated) files and records written with a
+        different schema version are always removed (silent *same-size*
+        bit rot is ``verify``'s deep-check job).
+        Stranded ``.tmp`` files are swept **age-gated** (older than
+        ``temp_max_age`` seconds): a concurrent writer's in-progress
+        atomic write is never deleted out from under it.  With
+        ``max_records``, the oldest surviving records (by modification
+        time) are pruned until at most that many remain.  The index is
+        compacted to exactly the survivors and the manifest re-stamped
+        with the current schema, so ``gc`` is the supported recovery path
+        for a store left behind by a different build (open with
+        ``strict=False``).  Returns the removed filenames per reason.
         """
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only")
         removed = {"corrupt": [], "schema": [], "pruned": [], "temp": []}
+        view, _health = self._records_view()
+        for relpath, age in self._objects.temp_files():
+            if age >= temp_max_age and self._objects.remove_temp(relpath):
+                removed["temp"].append(relpath)
         survivors: List[str] = []
-        readable: Dict[str, Dict[str, Any]] = dict(self.iter_records())
-        for name in self._temp_files():
-            if self._unlink_quietly(name):
-                removed["temp"].append(name)
-        for name in self._record_files():
-            header = readable.get(name)
-            if header is None:
-                if self._unlink_quietly(name):
+        for name in sorted(view):
+            entry = view[name]
+            if entry is not None:
+                # One stat against the indexed size catches objects that
+                # changed since they were indexed (truncated, overwritten,
+                # re-saved) without opening them; only those drifters pay
+                # the header re-read below.
+                try:
+                    size = os.path.getsize(self._objects.object_path(name))
+                except OSError:
+                    size = None
+                if size != entry.get("size"):
+                    entry = self._entry_from_disk(name)
+                    view[name] = entry
+            if entry is None:
+                if self._objects.remove_object(name):
                     removed["corrupt"].append(name)
-            elif header.get("schema") != self.schema_version:
-                if self._unlink_quietly(name):
+            elif entry.get("schema") != self.schema_version:
+                if self._objects.remove_object(name):
                     removed["schema"].append(name)
             else:
                 survivors.append(name)
         if max_records is not None and len(survivors) > max_records:
-            def age(name: str) -> float:
+            def age_of(name: str) -> float:
                 try:
-                    return os.path.getmtime(os.path.join(self.root, name))
+                    return os.path.getmtime(self._objects.object_path(name))
                 except OSError:
                     return 0.0
 
-            by_age = sorted(survivors, key=age)
+            by_age = sorted(survivors, key=age_of)
             for name in by_age[:len(survivors) - max_records]:
-                if self._unlink_quietly(name):
+                if self._objects.remove_object(name):
                     removed["pruned"].append(name)
+                    survivors.remove(name)
+        self._objects.index.write_canonical(
+            {name: view[name] for name in survivors
+             if view[name] is not None})
         self._write_manifest()
         return removed
 
     def clear(self) -> int:
-        """Delete every record and orphaned temp file (keeps the manifest);
-        returns the number of records removed."""
-        names = self._record_files()
-        count = sum(1 for name in names if self._unlink_quietly(name))
-        for name in self._temp_files():
-            self._unlink_quietly(name)
+        """Delete every record, truncate the index and sweep temp files
+        regardless of age (keeps the manifest); returns the number of
+        records removed."""
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store at {self.root!r} is mounted read-only")
+        names = self._objects.list_object_names()
+        count = sum(1 for name in names if self._objects.remove_object(name))
+        for relpath, _age in self._objects.temp_files():
+            self._objects.remove_temp(relpath)
+        self._objects.index.write_canonical({})
         return count
 
     def __repr__(self) -> str:
         return (f"TraceStore(root={self.root!r}, "
-                f"schema={self.schema_version}, records={len(self)})")
+                f"schema={self.schema_version}, records={len(self)}, "
+                f"read_only={self.read_only})")

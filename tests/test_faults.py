@@ -320,11 +320,16 @@ def test_corruption_matrix_across_all_record_kinds(tmp_path, mode):
     store.save_experiment("cafe0123", {"cells": [1, 2, 3]})
     store.save_trace(generate_trace("astar", NUM_ACCESSES, seed=3),
                      source="unit-test")
-    records = sorted(name for name in os.listdir(store.root)
-                     if name.endswith(".pkl"))
+    paths = {}  # filename -> actual sharded path
+    for shard in os.listdir(os.path.join(store.root, "objects")):
+        shard_dir = os.path.join(store.root, "objects", shard)
+        for name in os.listdir(shard_dir):
+            if name.endswith(".pkl"):
+                paths[name] = os.path.join(shard_dir, name)
+    records = sorted(paths)
     assert len(records) == 4  # entry, result, experiment, trace
     for name in records:
-        _damage(os.path.join(store.root, name), mode)
+        _damage(paths[name], mode)
     # Corrupt the manifest too — verify must flag it, repair must re-stamp.
     with open(os.path.join(store.root, "manifest.json"), "w") as handle:
         handle.write("{not json")

@@ -170,10 +170,10 @@ def test_corrupt_manifest_over_foreign_records_is_refused(tmp_path):
     """Manifest self-healing must not adopt another build's records."""
     store = TraceStore(str(tmp_path))
     store.save("entry", ("k",), {"x": 1})
-    future = TraceStore.__new__(TraceStore)
-    future.root = store.root
+    # Re-open pretending to be a future build whose records use a bumped
+    # schema (the manifest still matches at open time).
+    future = TraceStore(str(tmp_path))
     future.schema_version = STORE_SCHEMA_VERSION + 1
-    future.saves = future.loads = future.load_misses = 0
     future.save("entry", ("other",), {"x": 2})
     (tmp_path / "manifest.json").write_text("{not json")
     with pytest.raises(StoreVersionError):
@@ -185,10 +185,8 @@ def test_foreign_record_schema_is_a_miss(tmp_path):
     store.save("entry", ("k",), {"x": 1})
     # Re-open pretending to be a future version that kept the manifest
     # format but bumped record layouts.
-    future = TraceStore.__new__(TraceStore)
-    future.root = store.root
+    future = TraceStore(str(tmp_path))
     future.schema_version = STORE_SCHEMA_VERSION + 1
-    future.saves = future.loads = future.load_misses = 0
     with pytest.warns(StoreCorruptionWarning):
         assert future.load("entry", ("k",)) is None
 
@@ -196,10 +194,21 @@ def test_foreign_record_schema_is_a_miss(tmp_path):
 # ----------------------------------------------------------------------
 # corruption
 # ----------------------------------------------------------------------
+def _record_paths(store_dir):
+    """Every record file under the sharded ``objects/`` tree."""
+    objects = os.path.join(str(store_dir), "objects")
+    paths = []
+    for shard in sorted(os.listdir(objects)):
+        shard_dir = os.path.join(objects, shard)
+        paths.extend(os.path.join(shard_dir, name)
+                     for name in os.listdir(shard_dir)
+                     if name.endswith(".pkl"))
+    assert paths
+    return sorted(paths, key=os.path.basename)
+
+
 def _first_record_path(store_dir):
-    names = [name for name in os.listdir(store_dir) if name.endswith(".pkl")]
-    assert names
-    return os.path.join(store_dir, sorted(names)[0])
+    return _record_paths(store_dir)[0]
 
 
 def _truncate(path):
@@ -227,9 +236,8 @@ def test_truncated_entry_warns_and_recovers_from_result_record(tmp_path):
 def test_fully_corrupt_store_warns_and_resimulates(tmp_path):
     cold_session, _ = _session(tmp_path)
     _ = cold_session.database
-    for name in os.listdir(str(tmp_path)):
-        if name.endswith(".pkl"):
-            _truncate(os.path.join(str(tmp_path), name))
+    for path in _record_paths(tmp_path):
+        _truncate(path)
 
     warm_session, warm_cache = _session(tmp_path)
     with pytest.warns(StoreCorruptionWarning):
@@ -264,7 +272,9 @@ def test_gc_removes_corrupt_and_prunes(tmp_path):
     with open(path, "wb") as handle:
         handle.write(b"junk")
     (tmp_path / "orphaned123.tmp").write_bytes(b"half-written")
-    removed = store.gc(max_records=2)
+    # temp_max_age=0: in the test every temp counts as stale; the
+    # default age gate is what protects concurrent writers in production.
+    removed = store.gc(max_records=2, temp_max_age=0.0)
     assert len(removed["corrupt"]) == 1
     assert len(removed["pruned"]) == 1
     assert removed["temp"] == ["orphaned123.tmp"]
